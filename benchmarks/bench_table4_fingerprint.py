@@ -1,0 +1,58 @@
+"""Table IV — fingerprinting and unknown-property discovery per controller.
+
+Runs phase 1 + phase 2 against all seven controllers and regenerates the
+home ID / node ID / known / unknown columns.
+"""
+
+from repro.analysis.report import render_table4
+from repro.core.discovery import discover_unknown_properties
+from repro.core.fingerprint import fingerprint
+from repro.simulator.testbed import CONTROLLER_IDS, PROFILES, build_sut
+
+from conftest import BENCH_SEED
+
+EXPECTED = {
+    "D1": (17, 28), "D2": (17, 28), "D3": (15, 30), "D4": (17, 28),
+    "D5": (15, 30), "D6": (17, 28), "D7": (15, 30),
+}
+
+
+def _fingerprint_all():
+    results = {}
+    for device in CONTROLLER_IDS:
+        sut = build_sut(device, seed=BENCH_SEED)
+        props = fingerprint(sut.dongle, sut.clock)
+        props = discover_unknown_properties(sut.dongle, sut.clock, props)
+        results[device] = props
+    return results
+
+
+def bench_table4_all_controllers(benchmark):
+    results = benchmark.pedantic(_fingerprint_all, rounds=1, iterations=1)
+    print("\n" + render_table4(results))
+    for device, props in results.items():
+        assert props.home_id == PROFILES[device].home_id
+        assert props.controller_node_id == 0x01
+        assert (props.known_count, props.unknown_count) == EXPECTED[device]
+        assert len(props.all_cmdcls) == 45
+
+
+def bench_passive_scan_single(benchmark):
+    def scan():
+        sut = build_sut("D1", seed=BENCH_SEED)
+        from repro.core.fingerprint import PassiveScanner
+
+        return PassiveScanner(sut.dongle, sut.clock).scan(120.0)
+
+    result = benchmark(scan)
+    assert result.home_id == PROFILES["D1"].home_id
+
+
+def bench_validation_sweep_single(benchmark):
+    def sweep():
+        sut = build_sut("D4", seed=BENCH_SEED)
+        props = fingerprint(sut.dongle, sut.clock)
+        return discover_unknown_properties(sut.dongle, sut.clock, props)
+
+    props = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert props.proprietary == (0x01, 0x02)

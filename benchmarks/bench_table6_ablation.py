@@ -1,0 +1,47 @@
+"""Table VI — the ablation study: full vs beta vs gamma, one hour on D1.
+
+The paper's shape: full functionality finds all 15; beta (known CMDCLs
+only) misses exactly the seven CMDCL-0x01 bugs and lands on 8; gamma
+(random mutation) is least effective at ~6.
+"""
+
+from repro.analysis.report import render_table6
+from repro.core.campaign import Mode
+
+from conftest import BENCH_SEED, GAMMA_SEED, cached_campaign, once
+
+ABLATION_HOURS = 1.0
+
+
+def bench_table6_ablation(benchmark):
+    def run_all():
+        return {
+            Mode.FULL: cached_campaign("D1", Mode.FULL, ABLATION_HOURS, BENCH_SEED),
+            Mode.BETA: cached_campaign("D1", Mode.BETA, ABLATION_HOURS, BENCH_SEED),
+            Mode.GAMMA: cached_campaign("D1", Mode.GAMMA, ABLATION_HOURS, GAMMA_SEED),
+        }
+
+    results = once(benchmark, run_all)
+    print("\n" + render_table6(results))
+
+    full, beta, gamma = (
+        results[Mode.FULL], results[Mode.BETA], results[Mode.GAMMA]
+    )
+    assert full.unique_vulnerabilities == 15
+    assert beta.unique_vulnerabilities == 8
+    assert set(beta.matched_bug_ids) == {6, 7, 8, 9, 10, 11, 13, 15}
+    assert 4 <= gamma.unique_vulnerabilities <= 8
+    assert (
+        full.unique_vulnerabilities
+        > beta.unique_vulnerabilities
+        > gamma.unique_vulnerabilities
+    )
+
+
+def bench_beta_misses_exactly_the_0x01_bugs(benchmark):
+    beta = once(
+        benchmark, lambda: cached_campaign("D1", Mode.BETA, ABLATION_HOURS, BENCH_SEED)
+    )
+    missed = set(range(1, 16)) - set(beta.matched_bug_ids)
+    print(f"\n[measured] beta missed bugs: {sorted(missed)} (all on CMDCL 0x01)")
+    assert missed == {1, 2, 3, 4, 5, 12, 14}

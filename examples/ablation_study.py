@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Table VI ablation: what each ZCover core feature contributes.
+
+Runs one simulated hour of fuzzing against the ZooZ controller under the
+paper's three configurations and prints the resulting Table VI:
+
+* full          — known + unknown CMDCLs + position-sensitive mutation;
+* beta          — known (NIF-listed) CMDCLs only;
+* gamma         — random CMDCL/CMD/PARAM selection.
+
+Usage::
+
+    python examples/ablation_study.py
+"""
+
+from repro.analysis import render_table6
+from repro.core import HOUR, Mode, run_campaign
+
+
+def main() -> None:
+    print("=== Table VI ablation: one simulated hour on the ZooZ (D1) ===\n")
+    results = {}
+    for mode, seed in ((Mode.FULL, 0), (Mode.BETA, 0), (Mode.GAMMA, 1)):
+        result = run_campaign("D1", mode, duration=HOUR, seed=seed)
+        results[mode] = result
+        print(
+            f"{mode.value:50s}: {result.unique_vulnerabilities:2d} unique "
+            f"(bugs {list(result.matched_bug_ids)})"
+        )
+
+    print("\n" + render_table6(results))
+
+    beta_missed = set(range(1, 16)) - set(results[Mode.BETA].matched_bug_ids)
+    print(
+        f"\nbeta missed bugs {sorted(beta_missed)} — exactly the seven "
+        "vulnerabilities hiding in the unlisted proprietary CMDCL 0x01,"
+    )
+    print("which only unknown-property discovery can reach.")
+    print(
+        "gamma wastes most packets on the 211 unimplemented classes and "
+        "never assembles the multi-byte trigger payloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

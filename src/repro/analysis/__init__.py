@@ -1,0 +1,48 @@
+"""Analysis and defence extensions: reporting and intrusion detection."""
+
+from .ids import Alert, AlertKind, TrafficModel, ZWaveIDS
+from .plot import figure5_svg, figure12_svg, save_svg
+from .summary import campaign_report
+from .triage import (
+    CrashTriage,
+    PayloadMinimizer,
+    TriagedBug,
+    render_triage_report,
+)
+from .report import (
+    FIGURE5_CLASS_IDS,
+    figure5_series,
+    render_figure5,
+    render_figure12,
+    render_table,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+__all__ = [
+    "Alert",
+    "AlertKind",
+    "campaign_report",
+    "CrashTriage",
+    "figure12_svg",
+    "figure5_svg",
+    "PayloadMinimizer",
+    "save_svg",
+    "render_triage_report",
+    "TriagedBug",
+    "FIGURE5_CLASS_IDS",
+    "figure5_series",
+    "render_figure5",
+    "render_figure12",
+    "render_table",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "TrafficModel",
+    "ZWaveIDS",
+]

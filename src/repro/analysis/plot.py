@@ -1,0 +1,157 @@
+"""Dependency-free SVG renderers for the paper's figures.
+
+The benches print ASCII tables; this module additionally emits the two
+data figures as standalone SVG files so the reproduction produces the same
+*artifacts* the paper shows:
+
+* :func:`figure5_svg` — the commands-per-command-class bar chart;
+* :func:`figure12_svg` — packets-over-time with discovery crosses for one
+  campaign (one panel of the paper's four).
+
+Plain string assembly, no third-party plotting stack.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import List, Union
+
+from ..core.campaign import CampaignResult
+from ..zwave.registry import SpecRegistry
+from .report import figure5_series
+
+_FONT = "font-family='Helvetica,Arial,sans-serif'"
+
+
+def _svg_document(width: int, height: int, body: List[str]) -> str:
+    head = (
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>"
+    )
+    background = f"<rect width='{width}' height='{height}' fill='white'/>"
+    return "\n".join([head, background, *body, "</svg>"])
+
+
+def figure5_svg(registry: SpecRegistry) -> str:
+    """Render Figure 5 (command distribution) as an SVG bar chart."""
+    series = figure5_series(registry)
+    width, height = 720, 360
+    margin_left, margin_bottom, margin_top = 50, 120, 30
+    plot_w = width - margin_left - 20
+    plot_h = height - margin_bottom - margin_top
+    max_count = max(count for _, count in series) or 1
+    bar_gap = plot_w / len(series)
+    bar_w = bar_gap * 0.7
+
+    body: List[str] = [
+        f"<text x='{width / 2}' y='18' text-anchor='middle' {_FONT} "
+        f"font-size='13'>Figure 5: commands per command class</text>"
+    ]
+    # Y axis with gridlines every 5 commands.
+    for tick in range(0, max_count + 1, 5):
+        y = margin_top + plot_h - plot_h * tick / max_count
+        body.append(
+            f"<line x1='{margin_left}' y1='{y:.1f}' x2='{width - 20}' "
+            f"y2='{y:.1f}' stroke='#dddddd' stroke-width='1'/>"
+        )
+        body.append(
+            f"<text x='{margin_left - 6}' y='{y + 4:.1f}' text-anchor='end' "
+            f"{_FONT} font-size='10'>{tick}</text>"
+        )
+    for index, (name, count) in enumerate(series):
+        x = margin_left + index * bar_gap + (bar_gap - bar_w) / 2
+        bar_h = plot_h * count / max_count
+        y = margin_top + plot_h - bar_h
+        body.append(
+            f"<rect x='{x:.1f}' y='{y:.1f}' width='{bar_w:.1f}' "
+            f"height='{bar_h:.1f}' fill='#4477aa'/>"
+        )
+        body.append(
+            f"<text x='{x + bar_w / 2:.1f}' y='{y - 4:.1f}' text-anchor='middle' "
+            f"{_FONT} font-size='10'>{count}</text>"
+        )
+        label_x = x + bar_w / 2
+        label_y = margin_top + plot_h + 8
+        body.append(
+            f"<text x='{label_x:.1f}' y='{label_y:.1f}' {_FONT} font-size='8' "
+            f"text-anchor='end' transform='rotate(-55 {label_x:.1f} {label_y:.1f})'>"
+            f"{html.escape(name)}</text>"
+        )
+    return _svg_document(width, height, body)
+
+
+def figure12_svg(
+    result: CampaignResult, horizon: float = 800.0, max_packets: int = 1000
+) -> str:
+    """Render one Figure 12 panel: packets vs time with discovery marks."""
+    width, height = 520, 340
+    margin = 55
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+
+    def x_of(t: float) -> float:
+        return margin + plot_w * min(t, horizon) / horizon
+
+    def y_of(packets: float) -> float:
+        return margin + plot_h - plot_h * min(packets, max_packets) / max_packets
+
+    body: List[str] = [
+        f"<text x='{width / 2}' y='20' text-anchor='middle' {_FONT} "
+        f"font-size='13'>Figure 12 ({html.escape(result.device)}): "
+        f"detection over time</text>",
+        f"<rect x='{margin}' y='{margin}' width='{plot_w}' height='{plot_h}' "
+        f"fill='none' stroke='#333333'/>",
+    ]
+    for tick in range(0, int(horizon) + 1, 200):
+        body.append(
+            f"<text x='{x_of(tick):.1f}' y='{height - margin + 16}' "
+            f"text-anchor='middle' {_FONT} font-size='10'>{tick}</text>"
+        )
+    for tick in range(0, max_packets + 1, 200):
+        body.append(
+            f"<text x='{margin - 6}' y='{y_of(tick) + 4:.1f}' text-anchor='end' "
+            f"{_FONT} font-size='10'>{tick}</text>"
+        )
+    body.append(
+        f"<text x='{width / 2}' y='{height - 8}' text-anchor='middle' {_FONT} "
+        f"font-size='11'>Time (sec)</text>"
+    )
+    body.append(
+        f"<text x='14' y='{height / 2}' text-anchor='middle' {_FONT} "
+        f"font-size='11' transform='rotate(-90 14 {height / 2})'># Packet</text>"
+    )
+    # The packets-over-time polyline.
+    points = [
+        f"{x_of(p.timestamp):.1f},{y_of(p.packets):.1f}"
+        for p in result.fuzz.timeline
+        if p.timestamp <= horizon
+    ]
+    if points:
+        body.append(
+            f"<polyline points='{' '.join(points)}' fill='none' "
+            f"stroke='#4477aa' stroke-width='1.5'/>"
+        )
+    # Red discovery crosses.
+    for t, packets, bug_id in result.discovery_timeline():
+        if t > horizon:
+            continue
+        cx, cy = x_of(t), y_of(packets)
+        for dx1, dy1, dx2, dy2 in ((-4, -4, 4, 4), (-4, 4, 4, -4)):
+            body.append(
+                f"<line x1='{cx + dx1:.1f}' y1='{cy + dy1:.1f}' "
+                f"x2='{cx + dx2:.1f}' y2='{cy + dy2:.1f}' "
+                f"stroke='#cc3311' stroke-width='2'/>"
+            )
+        if bug_id is not None:
+            body.append(
+                f"<text x='{cx + 6:.1f}' y='{cy - 6:.1f}' {_FONT} "
+                f"font-size='9' fill='#cc3311'>#{bug_id:02d}</text>"
+            )
+    return _svg_document(width, height, body)
+
+
+def save_svg(svg: str, path: Union[str, Path]) -> Path:
+    """Write an SVG string to disk and return the path."""
+    path = Path(path)
+    path.write_text(svg, encoding="utf-8")
+    return path

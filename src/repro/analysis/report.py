@@ -1,0 +1,220 @@
+"""Report generation: render the paper's tables from measured results.
+
+Each ``render_*`` function takes the corresponding experiment output and
+returns the table as a string whose rows mirror the paper's layout, so the
+benchmark harness can print paper-shaped artifacts straight from a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.baseline import VFuzzResult
+from ..core.campaign import CampaignResult, Mode
+from ..core.properties import ControllerProperties
+from ..simulator.testbed import PROFILES
+from ..simulator.vulnerabilities import ZERO_DAYS
+from ..zwave.registry import SpecRegistry
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "-+-".join("-" * w for w in widths)
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = "") -> str:
+    """Generic fixed-width table renderer."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_row(headers, widths))
+    lines.append(_rule(widths))
+    lines.extend(_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+# -- Table II -----------------------------------------------------------------
+
+
+def render_table2() -> str:
+    """The tested-device inventory."""
+    rows = []
+    for idx in sorted(PROFILES):
+        p = PROFILES[idx]
+        rows.append(
+            (p.idx, p.brand, p.device_type, p.model, "Yes" if p.encryption else "No")
+        )
+    return render_table(
+        ("IDX", "Brand name", "Device type", "Model (year)", "Encryption"),
+        rows,
+        "Table II: tested device details",
+    )
+
+
+# -- Table III ----------------------------------------------------------------
+
+
+def render_table3(
+    measured: Optional[Dict[int, Tuple[str, float, int]]] = None,
+) -> str:
+    """The zero-day table; *measured* maps bug id -> (duration label,
+    discovery time, discovery packet) from a campaign."""
+    rows = []
+    for bug in ZERO_DAYS:
+        confirmed = bug.cve if bug.cve else "confirmed"
+        duration = bug.duration_label
+        extra = ""
+        if measured and bug.bug_id in measured:
+            label, t, pkt = measured[bug.bug_id]
+            duration = label
+            extra = f"t={t:.0f}s pkt={pkt}"
+        rows.append(
+            (
+                f"{bug.bug_id:02d}",
+                bug.affected,
+                f"0x{bug.cmdcl:02X}",
+                f"0x{bug.canonical_cmd:02X}",
+                bug.description,
+                duration,
+                bug.root_cause.value,
+                confirmed,
+                extra,
+            )
+        )
+    return render_table(
+        ("Bug", "Affected", "CMDCL", "CMD", "Description", "Duration", "Root cause", "Confirmed", "Measured"),
+        rows,
+        "Table III: zero-day vulnerability discovery results",
+    )
+
+
+# -- Table IV -----------------------------------------------------------------
+
+
+def render_table4(results: Dict[str, ControllerProperties]) -> str:
+    """Fingerprinting and unknown-property discovery per controller."""
+    rows = []
+    for device in sorted(results):
+        props = results[device]
+        rows.append(
+            (
+                device,
+                f"{props.home_id:08X}",
+                f"0x{props.controller_node_id:02X}",
+                f"{props.known_count} CMDCLs",
+                f"{props.unknown_count} CMDCLs",
+            )
+        )
+    return render_table(
+        ("ID", "Home ID", "Node ID", "Known CMDCLs", "Unknown CMDCLs"),
+        rows,
+        "Table IV: fingerprinting and unknown-property discovery",
+    )
+
+
+# -- Table V ------------------------------------------------------------------
+
+
+def render_table5(
+    vfuzz: Dict[str, VFuzzResult], zcover: Dict[str, CampaignResult]
+) -> str:
+    """VFuzz vs ZCover coverage and unique-vulnerability comparison."""
+    rows = []
+    for device in sorted(set(vfuzz) | set(zcover)):
+        v = vfuzz.get(device)
+        z = zcover.get(device)
+        rows.append(
+            (
+                device,
+                v.cmdcl_coverage if v else "-",
+                v.cmd_coverage if v else "-",
+                v.unique_vulnerabilities if v else "-",
+                z.fuzz.cmdcl_coverage if z else "-",
+                z.fuzz.cmd_coverage if z else "-",
+                z.unique_vulnerabilities if z else "-",
+            )
+        )
+    return render_table(
+        ("ID", "VFuzz CMDCL", "VFuzz CMD", "VFuzz #Vul", "ZCover CMDCL", "ZCover CMD", "ZCover #Vul"),
+        rows,
+        "Table V: CMDCL coverage and unique vulnerability discovery",
+    )
+
+
+# -- Table VI -----------------------------------------------------------------
+
+
+def render_table6(results: Dict[Mode, CampaignResult]) -> str:
+    """The ablation study."""
+    order = (Mode.FULL, Mode.BETA, Mode.GAMMA)
+    labels = {
+        Mode.FULL: "ZCover full (Known + Unknown CMDCLs + Position-Sensitive Mutation)",
+        Mode.BETA: "ZCover beta (Known CMDCLs Only + Position-Sensitive Mutation)",
+        Mode.GAMMA: "ZCover gamma (Random CMDCLs + No Position-Sensitive Mutation)",
+    }
+    rows = []
+    for i, mode in enumerate(order, start=1):
+        result = results.get(mode)
+        rows.append(
+            (i, labels[mode], result.unique_vulnerabilities if result else "-")
+        )
+    return render_table(
+        ("Test", "Fuzzing Configuration", "#Vul."),
+        rows,
+        "Table VI: ablation study on ZCover core features",
+    )
+
+
+# -- Figure 5 -----------------------------------------------------------------
+
+#: The fifteen-plus-one classes the paper plots (ordered by command count).
+FIGURE5_CLASS_IDS: Tuple[int, ...] = (
+    0x34, 0x67, 0x63, 0x9F, 0x98, 0x7A, 0x59, 0x62,
+    0x85, 0x84, 0x20, 0x5A, 0x22, 0x82, 0x88, 0x24,
+)
+
+
+def figure5_series(registry: SpecRegistry) -> List[Tuple[str, int]]:
+    """(class name, #commands) in plotting order."""
+    ranked = registry.command_distribution(FIGURE5_CLASS_IDS)
+    return [(cls.name, count) for cls, count in ranked]
+
+
+def render_figure5(registry: SpecRegistry) -> str:
+    """An ASCII bar chart of the commands-per-class distribution."""
+    series = figure5_series(registry)
+    width = max(len(name) for name, _ in series)
+    lines = ["Figure 5: command distribution of selected command classes"]
+    for name, count in series:
+        lines.append(f"{name.ljust(width)} | {'#' * count} {count}")
+    return "\n".join(lines)
+
+
+# -- Figure 12 ----------------------------------------------------------------
+
+
+def render_figure12(result: CampaignResult, horizon: float = 800.0) -> str:
+    """Packets-over-time with unique-discovery marks for one device."""
+    lines = [
+        f"Figure 12 ({result.device}): packets vs time, X = unique discovery",
+        "time(s)  packets  events",
+    ]
+    marks = {
+        int(t): bug_id for t, _, bug_id in result.discovery_timeline() if t <= horizon
+    }
+    for point in result.fuzz.timeline:
+        if point.timestamp > horizon:
+            break
+        lines.append(f"{point.timestamp:7.1f}  {point.packets:7d}")
+    for t, pkt, bug_id in result.discovery_timeline():
+        if t <= horizon:
+            lines.append(f"{t:7.1f}  {pkt:7d}  X bug#{bug_id}")
+    return "\n".join(lines)

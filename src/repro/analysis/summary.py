@@ -1,0 +1,81 @@
+"""Campaign summary reports: one markdown document per trial.
+
+``zcover fuzz`` shows the raw numbers; this module turns a finished
+:class:`CampaignResult` into the report an analyst would file — target
+profile, fingerprinting outcome, coverage, the verified finding list with
+CVEs and PoC coordinates, and the discovery timeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.campaign import CampaignResult
+from ..simulator.testbed import PROFILES
+
+
+def campaign_report(result: CampaignResult) -> str:
+    """Render *result* as a markdown report."""
+    profile = PROFILES.get(result.device)
+    lines: List[str] = []
+    title = f"ZCover campaign report — {result.device}"
+    if profile is not None:
+        title += f" ({profile.brand} {profile.model})"
+    lines += [f"# {title}", ""]
+
+    lines += ["## Configuration", ""]
+    lines.append(f"- mode: {result.mode.value}")
+    lines.append(f"- duration: {result.duration / 3600:.2f} simulated hours")
+    lines.append(f"- packets sent: {result.fuzz.packets_sent}")
+    lines.append(
+        f"- coverage: {result.fuzz.cmdcl_coverage} CMDCLs / "
+        f"{result.fuzz.cmd_coverage} CMDs"
+    )
+    lines.append("")
+
+    props = result.properties
+    if props is not None:
+        lines += ["## Target fingerprint", ""]
+        lines.append(f"- home id: `{props.home_id:08X}`")
+        lines.append(f"- controller node id: `0x{props.controller_node_id:02X}`")
+        lines.append(f"- NIF-listed command classes: {props.known_count}")
+        if props.unknown_count:
+            lines.append(
+                f"- hidden command classes discovered: {props.unknown_count} "
+                f"(proprietary: {', '.join(hex(c) for c in props.proprietary)})"
+            )
+        lines.append("")
+
+    lines += ["## Verified findings", ""]
+    if not result.unique:
+        lines.append("No vulnerabilities confirmed.")
+    else:
+        lines.append("| # | CMDCL | impact | CVE | discovered | PoC payload |")
+        lines.append("|---|---|---|---|---|---|")
+        ordered = sorted(
+            result.unique.values(), key=lambda u: u.first_detection_time
+        )
+        for unique in ordered:
+            bug = unique.bug
+            bug_label = f"{bug.bug_id:02d}" if bug else "?"
+            cve = bug.cve if bug and bug.cve else "confirmed"
+            lines.append(
+                f"| {bug_label} | 0x{unique.finding.cmdcl:02X} "
+                f"| {unique.finding.duration_label} "
+                f"| {cve} "
+                f"| t={unique.first_detection_time:.0f}s, "
+                f"pkt {unique.first_detection_packet} "
+                f"| `{unique.finding.payload_hex}` |"
+            )
+    lines.append("")
+
+    lines += ["## Discovery timeline", ""]
+    for t, packet, bug_id in result.discovery_timeline():
+        label = f"bug #{bug_id:02d}" if bug_id is not None else "unmatched"
+        lines.append(f"- t={t:8.1f}s  packet {packet:6d}  {label}")
+    lines.append("")
+    lines.append(
+        f"_Detections including duplicates: {len(result.fuzz.detections)}; "
+        f"unique after PoC verification: {result.unique_vulnerabilities}._"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,362 @@
+"""Command-line interface: drive ZCover experiments from a shell.
+
+Usage examples::
+
+    zcover scan --device D1
+    zcover discover --device D3
+    zcover fuzz --device D1 --hours 1 --mode full --log bugs.jsonl
+    zcover ablation --device D1 --hours 1
+    zcover compare --devices D1,D2,D3 --hours 6
+    zcover table --which 2
+
+Everything runs against the simulated Table II testbed (see DESIGN.md for
+the hardware-substitution rationale); durations are simulated hours, not
+wall-clock hours.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import (
+    render_figure5,
+    render_figure12,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from .analysis.triage import CrashTriage, render_triage_report
+from .core.baseline import VFuzzBaseline
+from .core.buglog import BugLog
+from .core.campaign import HOUR, Mode, run_ablation, run_campaign
+from .core.discovery import discover_unknown_properties
+from .core.fingerprint import fingerprint
+from .core.trials import run_trials
+from .radio.trace import dissect_trace, load_trace, save_trace, TraceRecord
+from .simulator.testbed import CONTROLLER_IDS, build_sut
+from .zwave.registry import load_full_registry
+
+_MODES = {"full": Mode.FULL, "beta": Mode.BETA, "gamma": Mode.GAMMA}
+
+
+def _add_device(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--device",
+        default="D1",
+        choices=CONTROLLER_IDS,
+        help="Table II controller to target (default D1)",
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    _add_device(parser)
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    """Phase 1: fingerprint the target and print the network profile."""
+    sut = build_sut(args.device, seed=args.seed)
+    props = fingerprint(sut.dongle, sut.clock)
+    print(f"device             : {args.device} ({sut.profile.brand} {sut.profile.model})")
+    print(f"home id            : {props.home_id:08X}")
+    print(f"controller node id : 0x{props.controller_node_id:02X}")
+    print(f"observed nodes     : {sorted(props.observed_node_ids)}")
+    print(f"listed CMDCLs ({props.known_count}) : {[hex(c) for c in props.listed_cmdcls]}")
+    return 0
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    """Phase 2: discover hidden command classes and print them."""
+    sut = build_sut(args.device, seed=args.seed)
+    props = fingerprint(sut.dongle, sut.clock)
+    props = discover_unknown_properties(sut.dongle, sut.clock, props)
+    print(f"known CMDCLs   : {props.known_count}")
+    print(f"unknown CMDCLs : {props.unknown_count}")
+    print(f"  spec-inferred: {[hex(c) for c in props.validated_unknown]}")
+    print(f"  proprietary  : {[hex(c) for c in props.proprietary]}")
+    print(f"fuzzing set    : {len(props.all_cmdcls)} CMDCLs")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Phase 3: run one fuzzing campaign and print the findings."""
+    mode = _MODES[args.mode]
+    result = run_campaign(
+        device=args.device,
+        mode=mode,
+        duration=args.hours * HOUR,
+        seed=args.seed,
+    )
+    print(f"mode                : {mode.value}")
+    print(f"packets sent        : {result.fuzz.packets_sent}")
+    print(f"CMDCL / CMD coverage: {result.fuzz.cmdcl_coverage} / {result.fuzz.cmd_coverage}")
+    print(f"detections (w/ dup) : {len(result.fuzz.detections)}")
+    print(f"unique bugs         : {result.unique_vulnerabilities}")
+    for t, pkt, bug_id in result.discovery_timeline():
+        label = f"bug #{bug_id:02d}" if bug_id else "unmatched"
+        print(f"  t={t:8.1f}s  packet={pkt:6d}  {label}")
+    if args.log:
+        result.fuzz.bug_log.save(args.log)
+        print(f"bug log saved to {args.log}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"campaign summary saved to {args.json}")
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    """Run the Table VI ablation (full vs beta vs gamma)."""
+    results = run_ablation(device=args.device, duration=args.hours * HOUR, seed=args.seed)
+    print(render_table6(results))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run the Table V comparison (ZCover vs VFuzz)."""
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    vfuzz_results, zcover_results = {}, {}
+    for device in devices:
+        sut = build_sut(device, seed=args.seed)
+        vfuzz_results[device] = VFuzzBaseline(sut, seed=args.seed).run(args.hours * HOUR)
+        zcover_results[device] = run_campaign(
+            device=device, mode=Mode.FULL, duration=args.hours * HOUR, seed=args.seed
+        )
+    from .analysis.report import render_table5
+
+    print(render_table5(vfuzz_results, zcover_results))
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    """Print a static paper table."""
+    if args.which == 2:
+        print(render_table2())
+    elif args.which == 3:
+        print(render_table3())
+    elif args.which == 5:
+        print("Run `zcover compare` to regenerate Table V from measurements.")
+    else:
+        print("Run the matching benchmark to regenerate this table.")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Render a paper figure as text."""
+    if args.which == 5:
+        print(render_figure5(load_full_registry()))
+    elif args.which == 12:
+        result = run_campaign(
+            device=args.device, mode=Mode.FULL, duration=args.hours * HOUR, seed=args.seed
+        )
+        print(render_figure12(result))
+    else:
+        print("Only figures 5 and 12 are renderable from the CLI.")
+    return 0
+
+
+def cmd_sniff(args: argparse.Namespace) -> int:
+    """Capture traffic, dissect it, optionally save a trace."""
+    sut = build_sut(args.device, seed=args.seed)
+    sut.dongle.clear_captures()
+    sut.clock.advance(args.seconds)
+    captures = sut.dongle.captures()
+    if args.out:
+        count = save_trace(captures, args.out)
+        print(f"saved {count} frames to {args.out}")
+    records = [TraceRecord.from_capture(c) for c in captures[: args.limit]]
+    print(dissect_trace(records))
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Dissect a previously saved trace file."""
+    records = load_trace(args.trace)
+    print(dissect_trace(records[: args.limit]))
+    return 0
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    """Verify, deduplicate and minimise a saved bug log."""
+    log = BugLog.load(args.log)
+    triage = CrashTriage(device=args.device, seed=args.seed)
+    print(render_triage_report(triage.triage(log)))
+    return 0
+
+
+def cmd_ids(args: argparse.Namespace) -> int:
+    """Train the ZMAD-style IDS on benign traffic, replay attacks."""
+    from .analysis.ids import ZWaveIDS
+    from .simulator.vulnerabilities import ZERO_DAYS
+    from .zwave.frame import ZWaveFrame
+
+    sut = build_sut(args.device, seed=args.seed)
+    ids = ZWaveIDS(sut.profile.home_id)
+    sut.dongle.clear_captures()
+    sut.clock.advance(args.train_seconds)
+    training = [
+        (c.timestamp, c.frame)
+        for c in sut.dongle.drain_captures()
+        if c.frame is not None
+    ]
+    model = ids.train(training)
+    print(f"trained on {len(training)} frames; "
+          f"{len(model.known_cmdcls)} classes, "
+          f"{len(model.transitions)} sequence bigrams")
+    attacks = {
+        7: bytes([0x5A, 0x01]), 3: bytes([0x01, 0x0D, 0x02, 0x03]),
+        10: bytes([0x86, 0x13, 0x00]), 6: bytes([0x9F, 0x01]),
+    }
+    detected = 0
+    for bug in ZERO_DAYS:
+        payload = attacks.get(bug.bug_id)
+        if payload is None:
+            continue
+        frame = ZWaveFrame(
+            home_id=sut.profile.home_id, src=0x0F, dst=1, payload=payload
+        )
+        alerts = ids.inspect(sut.clock.now, frame)
+        detected += bool(alerts)
+        kinds = ", ".join(sorted({a.kind.value for a in alerts})) or "missed"
+        print(f"bug #{bug.bug_id:02d}: {kinds}")
+    print(f"detected {detected}/{len(attacks)} sampled attacks")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a campaign and write a markdown report (and SVG)."""
+    from .analysis.plot import figure12_svg, save_svg
+    from .analysis.summary import campaign_report
+
+    result = run_campaign(
+        device=args.device,
+        mode=_MODES[args.mode],
+        duration=args.hours * HOUR,
+        seed=args.seed,
+    )
+    report = campaign_report(result)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    if args.svg:
+        save_svg(figure12_svg(result), args.svg)
+        print(f"figure written to {args.svg}")
+    return 0
+
+
+def cmd_trials(args: argparse.Namespace) -> int:
+    """Run repeated trials and print aggregate statistics."""
+    summary = run_trials(
+        device=args.device,
+        mode=_MODES[args.mode],
+        n_trials=args.trials,
+        duration=args.hours * HOUR,
+        base_seed=args.seed,
+    )
+    print(summary.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="zcover",
+        description="ZCover reproduction: fuzz simulated Z-Wave controllers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="phase 1: passive + active fingerprinting")
+    _add_common(scan)
+    scan.set_defaults(func=cmd_scan)
+
+    discover = sub.add_parser("discover", help="phase 2: unknown CMDCL discovery")
+    _add_common(discover)
+    discover.set_defaults(func=cmd_discover)
+
+    fuzz = sub.add_parser("fuzz", help="phase 3: run a fuzzing campaign")
+    _add_common(fuzz)
+    fuzz.add_argument("--hours", type=float, default=1.0, help="simulated hours")
+    fuzz.add_argument("--mode", choices=sorted(_MODES), default="full")
+    fuzz.add_argument("--log", help="save the bug log (JSON lines) here")
+    fuzz.add_argument("--json", help="save the machine-readable summary here")
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    ablation = sub.add_parser("ablation", help="Table VI: full vs beta vs gamma")
+    _add_common(ablation)
+    ablation.add_argument("--hours", type=float, default=1.0)
+    ablation.set_defaults(func=cmd_ablation)
+
+    compare = sub.add_parser("compare", help="Table V: ZCover vs VFuzz")
+    compare.add_argument("--devices", default="D1,D2,D3,D4,D5")
+    compare.add_argument("--hours", type=float, default=6.0)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=cmd_compare)
+
+    table = sub.add_parser("table", help="print a static paper table")
+    table.add_argument("--which", type=int, default=2, choices=(2, 3, 5))
+    table.set_defaults(func=cmd_table)
+
+    figure = sub.add_parser("figure", help="render a paper figure")
+    _add_common(figure)
+    figure.add_argument("--which", type=int, default=5, choices=(5, 12))
+    figure.add_argument("--hours", type=float, default=1.0)
+    figure.set_defaults(func=cmd_figure)
+
+    sniff = sub.add_parser("sniff", help="capture and dissect network traffic")
+    _add_common(sniff)
+    sniff.add_argument("--seconds", type=float, default=120.0)
+    sniff.add_argument("--out", help="save the trace (JSON lines) here")
+    sniff.add_argument("--limit", type=int, default=40, help="lines to print")
+    sniff.set_defaults(func=cmd_sniff)
+
+    replay = sub.add_parser("replay", help="dissect a saved trace file")
+    replay.add_argument("trace", help="trace file written by `zcover sniff`")
+    replay.add_argument("--limit", type=int, default=100)
+    replay.set_defaults(func=cmd_replay)
+
+    triage = sub.add_parser("triage", help="verify + dedup + minimise a bug log")
+    _add_common(triage)
+    triage.add_argument("--log", required=True, help="bug log from `zcover fuzz`")
+    triage.set_defaults(func=cmd_triage)
+
+    ids = sub.add_parser("ids", help="train the ZMAD-style IDS, replay attacks")
+    _add_common(ids)
+    ids.add_argument("--train-seconds", type=float, default=7200.0)
+    ids.set_defaults(func=cmd_ids)
+
+    report = sub.add_parser("report", help="run a campaign and write a report")
+    _add_common(report)
+    report.add_argument("--mode", choices=sorted(_MODES), default="full")
+    report.add_argument("--hours", type=float, default=1.0)
+    report.add_argument("--out", help="markdown report path (default: stdout)")
+    report.add_argument("--svg", help="also write the Figure 12 panel here")
+    report.set_defaults(func=cmd_report)
+
+    trials = sub.add_parser("trials", help="repeated trials with statistics")
+    _add_common(trials)
+    trials.add_argument("--mode", choices=sorted(_MODES), default="full")
+    trials.add_argument("--trials", type=int, default=5)
+    trials.add_argument("--hours", type=float, default=1.0)
+    trials.set_defaults(func=cmd_trials)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

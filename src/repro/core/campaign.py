@@ -1,0 +1,215 @@
+"""Campaign orchestration: the experiment configurations of Section IV.
+
+A *campaign* is one fuzzing trial against one Table II controller:
+
+* ``Mode.FULL``  — known + unknown CMDCL discovery + position-sensitive
+  mutation (the complete ZCover of Tables III/IV/V and Figure 12);
+* ``Mode.BETA``  — known (NIF-listed) CMDCLs only + position-sensitive
+  mutation (ablation row 2 of Table VI);
+* ``Mode.GAMMA`` — random CMDCL/CMD/PARAM selection, no position
+  sensitivity (ablation row 3 of Table VI).
+
+Every campaign runs fingerprinting first (even γ needs the home and node
+IDs to build injectable frames), then fuzzes for the configured simulated
+duration, then verifies the bug log through the packet tester and
+deduplicates findings by verified signature.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CampaignError
+from ..simulator.testbed import build_sut
+from ..zwave.registry import SpecRegistry, load_full_registry, load_public_registry
+from .discovery import discover_unknown_properties
+from .fingerprint import fingerprint
+from .fuzzer import FuzzerConfig, FuzzingEngine, FuzzResult, psm_streams, random_stream
+from .mutation import PositionSensitiveMutator, RandomMutator
+from .properties import ControllerProperties
+from .tester import PacketTester, Signature, VerifiedUnique
+
+#: Simulated durations used by the paper's experiments.
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+class Mode(Enum):
+    """The three configurations of the Table VI ablation."""
+
+    FULL = "ZCover full"
+    BETA = "ZCover beta (known CMDCLs only)"
+    GAMMA = "ZCover gamma (random mutation)"
+
+
+@dataclass
+class CampaignResult:
+    """Everything one trial produced, post-verification."""
+
+    device: str
+    mode: Mode
+    duration: float
+    properties: Optional[ControllerProperties]
+    fuzz: FuzzResult
+    unique: Dict[Signature, VerifiedUnique] = field(default_factory=dict)
+
+    @property
+    def unique_vulnerabilities(self) -> int:
+        """The "#Vul." column of Tables V and VI."""
+        return len(self.unique)
+
+    @property
+    def matched_bug_ids(self) -> Tuple[int, ...]:
+        """Table III bug ids among the verified findings, sorted."""
+        ids = {u.bug_id for u in self.unique.values() if u.bug_id is not None}
+        return tuple(sorted(ids))
+
+    def discovery_timeline(self) -> List[Tuple[float, int, Optional[int]]]:
+        """(time, packet, bug-id) per unique finding, by discovery time."""
+        points = [
+            (u.first_detection_time, u.first_detection_packet, u.bug_id)
+            for u in self.unique.values()
+        ]
+        return sorted(points)
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (JSON-serialisable) of the campaign."""
+        findings = []
+        for unique in sorted(
+            self.unique.values(), key=lambda u: u.first_detection_time
+        ):
+            bug = unique.bug
+            findings.append(
+                {
+                    "bug_id": unique.bug_id,
+                    "cve": bug.cve if bug else None,
+                    "cmdcl": unique.finding.cmdcl,
+                    "cmd": unique.finding.cmd,
+                    "kind": unique.finding.kind.value,
+                    "duration_s": unique.finding.duration_s,
+                    "payload": unique.finding.payload_hex,
+                    "first_detection_time": unique.first_detection_time,
+                    "first_detection_packet": unique.first_detection_packet,
+                }
+            )
+        props = self.properties
+        return {
+            "device": self.device,
+            "mode": self.mode.name,
+            "duration_s": self.duration,
+            "packets_sent": self.fuzz.packets_sent,
+            "cmdcl_coverage": self.fuzz.cmdcl_coverage,
+            "cmd_coverage": self.fuzz.cmd_coverage,
+            "detections_with_duplicates": len(self.fuzz.detections),
+            "unique_vulnerabilities": self.unique_vulnerabilities,
+            "fingerprint": None
+            if props is None
+            else {
+                "home_id": f"{props.home_id:08X}",
+                "controller_node_id": props.controller_node_id,
+                "known_cmdcls": props.known_count,
+                "unknown_cmdcls": props.unknown_count,
+            },
+            "findings": findings,
+        }
+
+
+def build_queue(
+    mode: Mode,
+    properties: ControllerProperties,
+    knowledge: SpecRegistry,
+    strategy: str = "priority",
+) -> Tuple[int, ...]:
+    """The CMDCL queue for a position-sensitive mode.
+
+    *strategy* selects the ordering — "priority" (command-count descending,
+    the paper's design), "ascending" (identifier order) or "reversed"
+    (priority inverted).  The alternatives exist for the design-choice
+    ablation benches.
+    """
+    if mode is Mode.FULL:
+        queue = properties.prioritized(knowledge)
+    elif mode is Mode.BETA:
+        queue = knowledge.prioritize(properties.listed_cmdcls)
+    else:
+        raise CampaignError(f"mode {mode} does not use a CMDCL queue")
+    if strategy == "priority":
+        return queue
+    if strategy == "ascending":
+        return tuple(sorted(queue))
+    if strategy == "reversed":
+        return tuple(reversed(queue))
+    raise CampaignError(f"unknown queue strategy {strategy!r}")
+
+
+def run_campaign(
+    device: str = "D1",
+    mode: Mode = Mode.FULL,
+    duration: float = DAY,
+    seed: int = 0,
+    fuzzer_config: Optional[FuzzerConfig] = None,
+    passive_duration: float = 120.0,
+    verify: bool = True,
+    queue_strategy: str = "priority",
+) -> CampaignResult:
+    """Run one complete trial: fingerprint → (discover) → fuzz → verify."""
+    sut = build_sut(device, seed=seed)
+    config = fuzzer_config or FuzzerConfig()
+
+    properties = fingerprint(sut.dongle, sut.clock, passive_duration)
+    if mode is Mode.FULL:
+        properties = discover_unknown_properties(
+            sut.dongle, sut.clock, properties, load_public_registry()
+        )
+
+    # ZCover's protocol knowledge: the spec plus the public XML command
+    # definitions — which, unlike the official listing, describe the
+    # protocol classes' schemas (see DESIGN.md).
+    knowledge = load_full_registry()
+    rng = random.Random(seed ^ 0x5A5A5A)
+    engine = FuzzingEngine(sut, config)
+
+    if mode is Mode.GAMMA:
+        streams = random_stream(RandomMutator(rng))
+    else:
+        queue = build_queue(mode, properties, knowledge, queue_strategy)
+        mutator = PositionSensitiveMutator(knowledge, rng)
+        streams = psm_streams(queue, mutator, config.cmdcl_time, config.requeue)
+
+    fuzz = engine.run(streams, duration)
+    result = CampaignResult(
+        device=device,
+        mode=mode,
+        duration=duration,
+        properties=properties,
+        fuzz=fuzz,
+    )
+    if verify:
+        result.unique = verify_findings(device, seed, fuzz)
+    return result
+
+
+def verify_findings(device: str, seed: int, fuzz: FuzzResult) -> Dict[Signature, VerifiedUnique]:
+    """Replay one representative per coarse bug-log group and deduplicate."""
+    tester = PacketTester(device=device, seed=seed)
+    groups = []
+    for cmdcl, cmd, observed in fuzz.bug_log.coarse_groups():
+        record = fuzz.bug_log.first_record(cmdcl, cmd, observed)
+        if record is not None:
+            groups.append((record.payload, record.timestamp, record.packet_no))
+    return tester.verify_log(groups)
+
+
+def run_ablation(
+    device: str = "D1",
+    duration: float = HOUR,
+    seed: int = 0,
+) -> Dict[Mode, CampaignResult]:
+    """The Table VI experiment: all three modes for one hour on one device."""
+    return {
+        mode: run_campaign(device=device, mode=mode, duration=duration, seed=seed)
+        for mode in (Mode.FULL, Mode.BETA, Mode.GAMMA)
+    }

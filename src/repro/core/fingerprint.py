@@ -1,0 +1,179 @@
+"""Phase 1 — known properties fingerprinting (Section III-B).
+
+Two scanners share the attacker's transceiver:
+
+* :class:`PassiveScanner` implements Figure 4's three steps — packet
+  capturing (sniff the medium, discard undecodable noise), packet
+  dissection (raw bits → hex fields) and packet analysis (extract the home
+  ID and the node IDs behind the busiest exchange).
+* :class:`ActiveScanner` interrogates the identified controller with NIF
+  requests and parses the listed command classes out of the report.
+
+Neither scanner needs privileged network access: S2 encrypts only the APL
+payload, so every field the passive scanner reads travels in the clear.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import FuzzerError, TransceiverError
+from ..radio.clock import SimClock
+from ..radio.transceiver import CapturedFrame, Transceiver
+from ..zwave.application import ApplicationPayload
+from ..zwave.frame import ZWaveFrame
+from ..zwave.nif import NodeInfo, encode_nif_request, parse_nif_report
+from .properties import ControllerProperties
+
+#: Spoofed source node id the scanners inject with (an unused slot).
+SCANNER_NODE_ID = 0x0F
+
+
+@dataclass(frozen=True)
+class PassiveScanResult:
+    """Outcome of one passive scanning session."""
+
+    home_id: int
+    controller_node_id: int
+    node_ids: Tuple[int, ...]
+    frames_seen: int
+    frames_decoded: int
+
+    @property
+    def network_summary(self) -> str:
+        return (
+            f"home id 0x{self.home_id:08X}, controller node "
+            f"0x{self.controller_node_id:02X}, {len(self.node_ids)} node(s) observed"
+        )
+
+
+class PassiveScanner:
+    """Sniff Z-Wave traffic and recover network identifiers (Figure 4)."""
+
+    def __init__(self, dongle: Transceiver, clock: SimClock):
+        if not dongle.configured:
+            raise TransceiverError(
+                "configure the transceiver (region + rate) before scanning"
+            )
+        self._dongle = dongle
+        self._clock = clock
+
+    def scan(self, duration: float = 120.0) -> PassiveScanResult:
+        """Listen for *duration* seconds and analyse whatever was heard."""
+        self._dongle.clear_captures()
+        self._clock.advance(duration)
+        captures = self._dongle.drain_captures()
+        return self.analyze(captures)
+
+    def analyze(self, captures: List[CapturedFrame]) -> PassiveScanResult:
+        """Steps 2-3 of Figure 4: dissect captures, extract identifiers."""
+        decoded = [c.frame for c in captures if c.frame is not None]
+        if not decoded:
+            raise FuzzerError(
+                "passive scan heard no decodable Z-Wave traffic; "
+                "is the network quiet or the dongle out of range?"
+            )
+        home_counter: Counter = Counter(f.home_id for f in decoded)
+        home_id, _ = home_counter.most_common(1)[0]
+        network = [f for f in decoded if f.home_id == home_id]
+        node_ids = set()
+        endpoint_score: Counter = Counter()
+        for frame in network:
+            for node in (frame.src, frame.dst):
+                if 1 <= node <= 232:
+                    node_ids.add(node)
+                    endpoint_score[node] += 1
+        if not endpoint_score:
+            raise FuzzerError("no addressable nodes observed in the captured traffic")
+        # The controller is the node participating in the most exchanges —
+        # it is the hub of the star-shaped application traffic.
+        controller_node_id, _ = endpoint_score.most_common(1)[0]
+        return PassiveScanResult(
+            home_id=home_id,
+            controller_node_id=controller_node_id,
+            node_ids=tuple(sorted(node_ids)),
+            frames_seen=len(captures),
+            frames_decoded=len(decoded),
+        )
+
+
+@dataclass(frozen=True)
+class ActiveScanResult:
+    """Outcome of NIF interrogation (Section III-B2)."""
+
+    node_info: NodeInfo
+    listed_cmdcls: Tuple[int, ...]
+    probes_sent: int
+
+
+class ActiveScanner:
+    """Request the controller's listed command classes through a NIF."""
+
+    #: How long to wait for the NIF report after a request.
+    RESPONSE_TIMEOUT = 2.0
+    MAX_RETRIES = 3
+
+    def __init__(self, dongle: Transceiver, clock: SimClock):
+        self._dongle = dongle
+        self._clock = clock
+
+    def interrogate(
+        self, home_id: int, controller_node_id: int
+    ) -> ActiveScanResult:
+        """Send NIF requests until the controller's report comes back."""
+        probes = 0
+        for _ in range(self.MAX_RETRIES):
+            probes += 1
+            self._dongle.clear_captures()
+            request = ZWaveFrame(
+                home_id=home_id,
+                src=SCANNER_NODE_ID,
+                dst=controller_node_id,
+                payload=encode_nif_request().encode(),
+            )
+            self._dongle.inject(request)
+            self._clock.advance(self.RESPONSE_TIMEOUT)
+            report = self._find_nif_report(controller_node_id)
+            if report is not None:
+                return ActiveScanResult(
+                    node_info=report,
+                    listed_cmdcls=report.listed_cmdcls,
+                    probes_sent=probes,
+                )
+        raise FuzzerError(
+            f"controller node {controller_node_id:#04x} never answered the NIF request"
+        )
+
+    def _find_nif_report(self, controller_node_id: int) -> Optional[NodeInfo]:
+        for capture in self._dongle.captures():
+            frame = capture.frame
+            if frame is None or frame.src != controller_node_id or not frame.payload:
+                continue
+            try:
+                payload = ApplicationPayload.decode(frame.payload)
+            except Exception:
+                continue
+            info = parse_nif_report(payload)
+            if info is not None:
+                return info
+        return None
+
+
+def fingerprint(
+    dongle: Transceiver,
+    clock: SimClock,
+    passive_duration: float = 120.0,
+) -> ControllerProperties:
+    """Run the full phase-1 pipeline: passive scan, then NIF interrogation."""
+    passive = PassiveScanner(dongle, clock).scan(passive_duration)
+    active = ActiveScanner(dongle, clock).interrogate(
+        passive.home_id, passive.controller_node_id
+    )
+    return ControllerProperties(
+        home_id=passive.home_id,
+        controller_node_id=passive.controller_node_id,
+        observed_node_ids=frozenset(passive.node_ids),
+        listed_cmdcls=tuple(sorted(active.listed_cmdcls)),
+    )

@@ -1,0 +1,188 @@
+"""Feedback oracles: liveness pings and operator-side observation.
+
+Section IV-A ("Feedback & crash verification"): *"During fuzzing, we assess
+test cases by monitoring controller liveliness using NOP ping packets.  Any
+delays, crashes, or unresponsiveness indicate potential vulnerabilities."*
+
+Three oracles cooperate:
+
+* :class:`LivenessMonitor` — the NOP ping over the air (pure black-box);
+* the **memory oracle** — in the paper the operator watches the Z-Wave PC
+  Controller program's node list (Figures 8-11 are its screenshots); here
+  :class:`SutObserver` reads the same information from the virtual
+  controller's NVM and diffs it against a golden snapshot;
+* the **host oracle** — the operator notices the PC program or smartphone
+  app dying (bugs #05/#06/#13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..radio.clock import SimClock
+from ..radio.transceiver import Transceiver
+from ..simulator.host import HostState
+from ..simulator.memory import MemoryChange, NodeTable, Snapshot
+from ..simulator.testbed import SystemUnderTest
+from ..zwave.frame import make_nop
+from .fingerprint import SCANNER_NODE_ID
+
+
+class ObservedKind(Enum):
+    """The fuzzer-visible classification of a misbehaviour."""
+
+    HANG = "hang"
+    MEMORY_MODIFY = "memory_modify"
+    MEMORY_INSERT = "memory_insert"
+    MEMORY_REMOVE = "memory_remove"
+    MEMORY_OVERWRITE = "memory_overwrite"
+    MEMORY_WAKEUP_CLEAR = "memory_wakeup_clear"
+    HOST_CRASH = "host_crash"
+    HOST_DOS = "host_dos"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything the oracles saw after one test packet."""
+
+    responsive: bool
+    kind: Optional[ObservedKind] = None
+    memory_changes: Tuple[MemoryChange, ...] = ()
+
+    @property
+    def finding(self) -> bool:
+        return self.kind is not None
+
+
+class LivenessMonitor:
+    """NOP-ping the controller and wait for the MAC acknowledgement."""
+
+    def __init__(
+        self,
+        dongle: Transceiver,
+        clock: SimClock,
+        home_id: int,
+        controller_node_id: int,
+        timeout: float = 0.5,
+    ):
+        self._dongle = dongle
+        self._clock = clock
+        self._home_id = home_id
+        self._node_id = controller_node_id
+        self.timeout = timeout
+        self.pings_sent = 0
+        self.pings_lost = 0
+
+    def ping(self) -> bool:
+        """Send one NOP; ``True`` when the controller acknowledges in time."""
+        self.pings_sent += 1
+        self._dongle.clear_captures()
+        self._dongle.inject(make_nop(self._home_id, SCANNER_NODE_ID, self._node_id))
+        self._clock.advance(self.timeout)
+        for capture in self._dongle.captures():
+            frame = capture.frame
+            if frame is None:
+                continue
+            if frame.is_ack and frame.src == self._node_id and frame.dst == SCANNER_NODE_ID:
+                return True
+        self.pings_lost += 1
+        return False
+
+    def ping_until_responsive(self, max_wait: float, interval: float = 1.0) -> Optional[float]:
+        """Keep pinging; return seconds until recovery, ``None`` if never.
+
+        Used by PoC verification to measure the Table III durations.
+        """
+        start = self._clock.now
+        while self._clock.now - start <= max_wait:
+            if self.ping():
+                return self._clock.now - start
+            self._clock.advance(max(interval - self.timeout, 0.0))
+        return None
+
+
+def classify_memory_changes(changes: List[MemoryChange]) -> Optional[ObservedKind]:
+    """Map an NVM diff onto the paper's memory-tampering categories."""
+    if not changes:
+        return None
+    added = sum(1 for c in changes if c.kind == "added")
+    removed = sum(1 for c in changes if c.kind == "removed")
+    modified = [c for c in changes if c.kind == "modified"]
+    if added and removed:
+        return ObservedKind.MEMORY_OVERWRITE
+    if added:
+        return ObservedKind.MEMORY_INSERT
+    if removed:
+        return ObservedKind.MEMORY_REMOVE
+    # Pure modifications: distinguish the wake-up wipe from general tampering.
+    only_wakeup = all(
+        c.before is not None
+        and c.after is not None
+        and c.after == _with_wakeup(c.before, None)
+        for c in modified
+    )
+    if only_wakeup:
+        return ObservedKind.MEMORY_WAKEUP_CLEAR
+    return ObservedKind.MEMORY_MODIFY
+
+
+def _with_wakeup(record, value):
+    from dataclasses import replace
+
+    return replace(record, wakeup_interval=value)
+
+
+class SutObserver:
+    """The operator's eyes on the system under test.
+
+    Holds the golden NVM snapshot, detects memory tampering and host
+    failures, and performs the operator-style recovery actions (restore the
+    node database from backup, restart the program, power-cycle the hub)
+    that keep a long fuzzing trial going.
+    """
+
+    def __init__(self, sut: SystemUnderTest, recovery_time: float = 2.0):
+        self._sut = sut
+        self._golden: Snapshot = sut.controller.nvm.snapshot()
+        self.recovery_time = recovery_time
+        self.recoveries = 0
+
+    @property
+    def golden(self) -> Snapshot:
+        return self._golden
+
+    def rebaseline(self) -> None:
+        """Accept the current NVM as the new golden state."""
+        self._golden = self._sut.controller.nvm.snapshot()
+
+    # -- detection --------------------------------------------------------------
+
+    def check_memory(self) -> Tuple[Optional[ObservedKind], Tuple[MemoryChange, ...]]:
+        changes = NodeTable.diff(self._golden, self._sut.controller.nvm.snapshot())
+        return classify_memory_changes(changes), tuple(changes)
+
+    def check_host(self) -> Optional[ObservedKind]:
+        state = self._sut.host.state
+        if state is HostState.CRASHED:
+            return ObservedKind.HOST_CRASH
+        if state is HostState.DENIED:
+            return ObservedKind.HOST_DOS
+        return None
+
+    # -- recovery -----------------------------------------------------------------
+
+    def restore_memory(self) -> None:
+        self._sut.controller.nvm.restore(self._golden)
+        self.recoveries += 1
+
+    def restart_host(self) -> None:
+        self._sut.host.restart(self._sut.clock.now)
+        self.recoveries += 1
+
+    def power_cycle(self) -> None:
+        """Reboot the hung controller and absorb the reboot delay."""
+        self._sut.controller.power_cycle()
+        self._sut.clock.advance(self.recovery_time)
+        self.recoveries += 1

@@ -1,0 +1,134 @@
+"""Multi-trial orchestration and aggregation.
+
+"Following recommended fuzzing practices, we conducted five 24-hour
+fuzzing trials for each controller" (Section IV, experiment environment).
+This module runs the repeated trials with distinct seeds and aggregates
+the statistics a fuzzing evaluation reports: unique-finding counts per
+trial, the union/intersection of findings, and per-bug discovery-time
+means and spreads.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .campaign import CampaignResult, DAY, Mode, run_campaign
+
+
+@dataclass(frozen=True)
+class BugTimingStats:
+    """Discovery-time statistics for one bug across trials."""
+
+    bug_id: int
+    hits: int  # trials in which the bug was found
+    mean_time: float
+    stdev_time: float
+    mean_packets: float
+
+
+@dataclass
+class TrialSummary:
+    """Aggregated outcome of repeated fuzzing trials."""
+
+    device: str
+    mode: Mode
+    duration: float
+    trials: List[CampaignResult] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def unique_counts(self) -> Tuple[int, ...]:
+        return tuple(t.unique_vulnerabilities for t in self.trials)
+
+    @property
+    def mean_unique(self) -> float:
+        return statistics.fmean(self.unique_counts) if self.trials else 0.0
+
+    @property
+    def union_bug_ids(self) -> Tuple[int, ...]:
+        """Bugs found in at least one trial."""
+        found = set()
+        for trial in self.trials:
+            found |= set(trial.matched_bug_ids)
+        return tuple(sorted(found))
+
+    @property
+    def intersection_bug_ids(self) -> Tuple[int, ...]:
+        """Bugs found in every trial (the reliably-reproducible core)."""
+        if not self.trials:
+            return ()
+        common = set(self.trials[0].matched_bug_ids)
+        for trial in self.trials[1:]:
+            common &= set(trial.matched_bug_ids)
+        return tuple(sorted(common))
+
+    def timing_stats(self) -> List[BugTimingStats]:
+        """Per-bug discovery-time statistics across the trials."""
+        times: Dict[int, List[Tuple[float, int]]] = {}
+        for trial in self.trials:
+            for unique in trial.unique.values():
+                if unique.bug_id is None:
+                    continue
+                times.setdefault(unique.bug_id, []).append(
+                    (unique.first_detection_time, unique.first_detection_packet)
+                )
+        stats: List[BugTimingStats] = []
+        for bug_id in sorted(times):
+            samples = times[bug_id]
+            t_values = [t for t, _ in samples]
+            p_values = [p for _, p in samples]
+            stats.append(
+                BugTimingStats(
+                    bug_id=bug_id,
+                    hits=len(samples),
+                    mean_time=statistics.fmean(t_values),
+                    stdev_time=statistics.stdev(t_values) if len(t_values) > 1 else 0.0,
+                    mean_packets=statistics.fmean(p_values),
+                )
+            )
+        return stats
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"{self.n_trials} x {self.duration / 3600:.0f}h trials of "
+            f"{self.mode.value} on {self.device}",
+            f"unique findings per trial: {list(self.unique_counts)} "
+            f"(mean {self.mean_unique:.1f})",
+            f"found in every trial : {list(self.intersection_bug_ids)}",
+            f"found in any trial   : {list(self.union_bug_ids)}",
+            "",
+            "bug   hits  mean t(s)  stdev(s)  mean packets",
+        ]
+        for s in self.timing_stats():
+            lines.append(
+                f"#{s.bug_id:02d}   {s.hits}/{self.n_trials}   "
+                f"{s.mean_time:8.1f}  {s.stdev_time:8.1f}  {s.mean_packets:10.0f}"
+            )
+        return "\n".join(lines)
+
+
+def run_trials(
+    device: str = "D1",
+    mode: Mode = Mode.FULL,
+    n_trials: int = 5,
+    duration: float = DAY,
+    base_seed: int = 0,
+) -> TrialSummary:
+    """Run *n_trials* independent campaigns with distinct seeds."""
+    summary = TrialSummary(device=device, mode=mode, duration=duration)
+    for trial_index in range(n_trials):
+        summary.trials.append(
+            run_campaign(
+                device=device,
+                mode=mode,
+                duration=duration,
+                seed=base_seed + 1000 * trial_index,
+            )
+        )
+    return summary

@@ -1,0 +1,107 @@
+"""Discrete-event simulated time.
+
+Every duration in the reproduction — fuzzing trials, hang durations, NOP
+ping timeouts, frame airtime — is measured against :class:`SimClock`, so a
+"24-hour" campaign runs in milliseconds of wall time while preserving the
+ordering and rates the paper reports (≈800 test packets in the first 600
+seconds, Figure 12).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import RadioError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock with an event queue."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Run *callback* after *delay* seconds; returns a cancellable id."""
+        if delay < 0:
+            raise RadioError(f"cannot schedule {delay}s in the past")
+        event_id = next(self._counter)
+        heapq.heappush(self._queue, (self._now + delay, event_id, callback))
+        return event_id
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a scheduled event (no-op if already fired)."""
+        self._cancelled.add(event_id)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return len(self._queue)
+
+    # -- advancing --------------------------------------------------------------
+
+    def advance(self, duration: float) -> None:
+        """Move time forward by *duration*, firing due events in order."""
+        if duration < 0:
+            raise RadioError("cannot advance time backwards")
+        self.advance_to(self._now + duration)
+
+    def advance_to(self, deadline: float) -> None:
+        """Move time forward to *deadline*, firing due events in order."""
+        if deadline < self._now:
+            raise RadioError("cannot advance time backwards")
+        while self._queue and self._queue[0][0] <= deadline:
+            fire_at, event_id, callback = heapq.heappop(self._queue)
+            self._now = max(self._now, fire_at)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            callback()
+        self._now = deadline
+
+    def run_next(self) -> bool:
+        """Fire the single next event; ``False`` when the queue is empty."""
+        while self._queue:
+            fire_at, event_id, callback = heapq.heappop(self._queue)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self._now = max(self._now, fire_at)
+            callback()
+            return True
+        return False
+
+    def drain(self, limit: Optional[int] = None) -> int:
+        """Fire events until the queue empties (or *limit* fire)."""
+        fired = 0
+        while self.run_next():
+            fired += 1
+            if limit is not None and fired >= limit:
+                break
+        return fired
+
+
+class Stopwatch:
+    """Measure elapsed simulated time against a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._start = clock.now
+
+    def restart(self) -> None:
+        self._start = self._clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock.now - self._start

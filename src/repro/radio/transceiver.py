@@ -1,0 +1,171 @@
+"""The attacker-side transceiver: a simulated YardStick-One-class dongle.
+
+The paper's experiment environment uses "the Yardstick dongle as the Z-Wave
+transceiver due to its support from the open-source community", attached to
+a laptop 10-70 m from the target.  :class:`Transceiver` models exactly the
+capabilities ZCover needs from it: configure frequency and data rate, sniff
+promiscuously into a capture buffer, and inject crafted frames.
+
+Per Figure 4, "ZCover verifies that the Z-Wave transceiver dongle is
+configured with a valid radio frequency and sampling rate (e.g., 868 or 908
+MHz)" — misconfiguration raises :class:`TransceiverError` before any frame
+moves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from ..errors import TransceiverError
+from ..zwave.constants import DATA_RATES_KBAUD, Region
+from ..zwave.frame import ZWaveFrame
+from .clock import SimClock
+from .medium import RadioMedium, Reception
+
+#: Capture buffer depth; the oldest captures roll off, like a real dongle.
+CAPTURE_BUFFER_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One sniffed frame with its radio metadata."""
+
+    raw: bytes
+    frame: Optional[ZWaveFrame]
+    rssi_dbm: float
+    timestamp: float
+    bit_errors: int
+
+    @property
+    def decoded(self) -> bool:
+        return self.frame is not None
+
+
+class Transceiver:
+    """A sniff/inject dongle attached to the simulated medium."""
+
+    def __init__(
+        self,
+        medium: RadioMedium,
+        clock: SimClock,
+        name: str = "dongle",
+        position: Tuple[float, float] = (0.0, 0.0),
+    ):
+        self._medium = medium
+        self._clock = clock
+        self._name = name
+        self._position = position
+        self._region: Optional[Region] = None
+        self._rate_kbaud: Optional[float] = None
+        self._captures: Deque[CapturedFrame] = deque(maxlen=CAPTURE_BUFFER_SIZE)
+        self._attached = False
+        self._injected = 0
+
+    # -- configuration ------------------------------------------------------------
+
+    def configure(self, region: Region, rate_kbaud: float) -> None:
+        """Tune the dongle; validates frequency and sampling rate."""
+        if not isinstance(region, Region):
+            raise TransceiverError(f"{region!r} is not a valid Z-Wave region")
+        if rate_kbaud not in DATA_RATES_KBAUD:
+            raise TransceiverError(
+                f"data rate {rate_kbaud} kbaud is not one of {DATA_RATES_KBAUD}"
+            )
+        self._region = region
+        self._rate_kbaud = rate_kbaud
+        if not self._attached:
+            self._medium.attach(
+                self._name,
+                self._position,
+                region,
+                self._on_receive,
+                promiscuous=True,
+            )
+            self._attached = True
+
+    @property
+    def configured(self) -> bool:
+        return self._region is not None and self._rate_kbaud is not None
+
+    @property
+    def region(self) -> Optional[Region]:
+        return self._region
+
+    @property
+    def rate_kbaud(self) -> Optional[float]:
+        return self._rate_kbaud
+
+    @property
+    def frames_injected(self) -> int:
+        return self._injected
+
+    def _require_configured(self) -> None:
+        if not self.configured:
+            raise TransceiverError(
+                "transceiver must be configured with a valid RF region and "
+                "sampling rate before use"
+            )
+
+    # -- receive path ----------------------------------------------------------------
+
+    def _on_receive(self, reception: Reception) -> None:
+        frame: Optional[ZWaveFrame] = None
+        try:
+            frame = ZWaveFrame.decode(reception.raw, verify=False)
+        except Exception:
+            frame = None  # Keep the raw capture; dissection failed.
+        self._captures.append(
+            CapturedFrame(
+                raw=reception.raw,
+                frame=frame,
+                rssi_dbm=reception.rssi_dbm,
+                timestamp=reception.timestamp,
+                bit_errors=reception.bit_errors,
+            )
+        )
+
+    def captures(self) -> List[CapturedFrame]:
+        """Snapshot of the capture buffer (oldest first)."""
+        return list(self._captures)
+
+    def drain_captures(self) -> List[CapturedFrame]:
+        """Return and clear the capture buffer."""
+        captured = list(self._captures)
+        self._captures.clear()
+        return captured
+
+    def clear_captures(self) -> None:
+        self._captures.clear()
+
+    # -- transmit path ----------------------------------------------------------------
+
+    def inject(self, frame: ZWaveFrame) -> float:
+        """Encode and transmit *frame*; returns the airtime in seconds."""
+        self._require_configured()
+        self._injected += 1
+        return self._medium.transmit(self._name, frame.encode(), self._rate_kbaud)
+
+    def inject_raw(self, raw: bytes) -> float:
+        """Transmit pre-encoded (possibly malformed) frame bytes."""
+        self._require_configured()
+        self._injected += 1
+        return self._medium.transmit(self._name, raw, self._rate_kbaud)
+
+    def inject_and_wait(self, frame: ZWaveFrame, settle: float = 0.01) -> None:
+        """Inject and advance the clock past delivery + processing."""
+        airtime = self.inject(frame)
+        self._clock.advance(airtime + settle)
+
+    # -- positioning -------------------------------------------------------------------
+
+    def move_to(self, position: Tuple[float, float]) -> None:
+        """Relocate the dongle (e.g. the attacker approaching the house)."""
+        self._position = position
+        if self._attached:
+            self._medium.move(self._name, position)
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return self._position

@@ -1,0 +1,42 @@
+"""Security substrate: AES-128, CMAC, CCM, Curve25519, S0 and S2 transports.
+
+Implements the three Z-Wave transport encapsulation modes of Section II-A1
+of the paper (No Security / S0 / S2) on top of from-scratch primitives.
+"""
+
+from .aes import AES128
+from .ccm import ccm_decrypt, ccm_encrypt
+from .cmac import aes_cmac, verify_cmac
+from .curve25519 import public_key, shared_secret, x25519
+from .kdf import ExpandedKeys, ckdf_expand, ckdf_temp_extract, derive_s0_keys
+from .s0 import S0Context, S0Encapsulated, TEMP_KEY
+from .s2 import (
+    S2Bootstrap,
+    S2Context,
+    S2Encapsulated,
+    SpanState,
+    generate_network_key,
+)
+
+__all__ = [
+    "AES128",
+    "aes_cmac",
+    "ccm_decrypt",
+    "ccm_encrypt",
+    "ckdf_expand",
+    "ckdf_temp_extract",
+    "derive_s0_keys",
+    "ExpandedKeys",
+    "generate_network_key",
+    "public_key",
+    "S0Context",
+    "S0Encapsulated",
+    "S2Bootstrap",
+    "S2Context",
+    "S2Encapsulated",
+    "shared_secret",
+    "SpanState",
+    "TEMP_KEY",
+    "verify_cmac",
+    "x25519",
+]

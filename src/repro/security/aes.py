@@ -1,0 +1,245 @@
+"""Pure-Python AES-128 block cipher (FIPS-197).
+
+Z-Wave's S0 and S2 transports are built entirely on AES-128 (AES-OFB for S0
+payload encryption, AES-CMAC for S2 integrity, AES-CCM for S2 payload
+protection, AES-CTR inside the key-derivation function).  No third-party
+crypto package is assumed, so the block cipher is implemented here from the
+standard; it is validated against the FIPS-197 appendix vectors in the test
+suite.
+
+The implementation favours clarity over speed — the simulator exchanges a
+few hundred thousand small frames at most, well within reach of a table
+-driven pure-Python cipher.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CryptoError
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+ROUNDS = 10
+
+# -- tables -------------------------------------------------------------------
+
+
+def _build_sbox() -> tuple:
+    """Construct the AES S-box from the finite-field definition."""
+    # Multiplicative inverses in GF(2^8) via exponentiation tables on the
+    # generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(b: int) -> int:
+        return 0 if b == 0 else exp[255 - log[b]]
+
+    sbox = []
+    for value in range(256):
+        b = inverse(value)
+        s = b
+        for _ in range(4):
+            b = ((b << 1) | (b >> 7)) & 0xFF
+            s ^= b
+        sbox.append(s ^ 0x63)
+    return tuple(sbox)
+
+
+SBOX = _build_sbox()
+INV_SBOX = tuple(SBOX.index(i) for i in range(256))
+
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    """Multiply two field elements in GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# -- key schedule --------------------------------------------------------------
+
+
+def expand_key(key: bytes) -> List[List[int]]:
+    """Expand a 16-byte key into the 11 round keys (as 16-byte lists)."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"AES-128 requires a 16-byte key, got {len(key)}")
+    words: List[List[int]] = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 4 * (ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    round_keys = []
+    for r in range(ROUNDS + 1):
+        rk: List[int] = []
+        for w in words[4 * r : 4 * r + 4]:
+            rk.extend(w)
+        round_keys.append(rk)
+    return round_keys
+
+
+# -- round operations ----------------------------------------------------------
+
+
+def _add_round_key(state: List[int], round_key: List[int]) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: List[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: List[int]) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+# State is kept column-major (byte i belongs to row i % 4, column i // 4),
+# matching the FIPS-197 byte ordering of the input block.
+
+
+def _shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        column_values = [state[row + 4 * col] for col in range(4)]
+        shifted = column_values[row:] + column_values[:row]
+        for col in range(4):
+            state[row + 4 * col] = shifted[col]
+
+
+def _inv_shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        column_values = [state[row + 4 * col] for col in range(4)]
+        shifted = column_values[-row:] + column_values[:-row]
+        for col in range(4):
+            state[row + 4 * col] = shifted[col]
+
+
+def _mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = _mul(a[0], 2) ^ _mul(a[1], 3) ^ a[2] ^ a[3]
+        state[4 * col + 1] = a[0] ^ _mul(a[1], 2) ^ _mul(a[2], 3) ^ a[3]
+        state[4 * col + 2] = a[0] ^ a[1] ^ _mul(a[2], 2) ^ _mul(a[3], 3)
+        state[4 * col + 3] = _mul(a[0], 3) ^ a[1] ^ a[2] ^ _mul(a[3], 2)
+
+
+def _inv_mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = _mul(a[0], 14) ^ _mul(a[1], 11) ^ _mul(a[2], 13) ^ _mul(a[3], 9)
+        state[4 * col + 1] = _mul(a[0], 9) ^ _mul(a[1], 14) ^ _mul(a[2], 11) ^ _mul(a[3], 13)
+        state[4 * col + 2] = _mul(a[0], 13) ^ _mul(a[1], 9) ^ _mul(a[2], 14) ^ _mul(a[3], 11)
+        state[4 * col + 3] = _mul(a[0], 11) ^ _mul(a[1], 13) ^ _mul(a[2], 9) ^ _mul(a[3], 14)
+
+
+# -- public API -----------------------------------------------------------------
+
+
+class AES128:
+    """AES-128 with a pre-expanded key schedule."""
+
+    def __init__(self, key: bytes):
+        self._round_keys = expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._round_keys[0])
+        for r in range(1, ROUNDS):
+            _sub_bytes(state)
+            _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[r])
+        _sub_bytes(state)
+        _shift_rows(state)
+        _add_round_key(state, self._round_keys[ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._round_keys[ROUNDS])
+        for r in range(ROUNDS - 1, 0, -1):
+            _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            _add_round_key(state, self._round_keys[r])
+            _inv_mix_columns(state)
+        _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    # -- modes of operation ----------------------------------------------------
+
+    def encrypt_ofb(self, iv: bytes, data: bytes) -> bytes:
+        """AES-OFB keystream encryption (S0 payload protection).
+
+        OFB is symmetric: applying it twice with the same IV recovers the
+        plaintext, so this method also decrypts.
+        """
+        if len(iv) != BLOCK_SIZE:
+            raise CryptoError(f"OFB IV must be 16 bytes, got {len(iv)}")
+        out = bytearray()
+        feedback = iv
+        for offset in range(0, len(data), BLOCK_SIZE):
+            feedback = self.encrypt_block(feedback)
+            chunk = data[offset : offset + BLOCK_SIZE]
+            out += bytes(c ^ k for c, k in zip(chunk, feedback))
+        return bytes(out)
+
+    decrypt_ofb = encrypt_ofb
+
+    def encrypt_ctr(self, nonce: bytes, data: bytes) -> bytes:
+        """AES-CTR keystream encryption over a 16-byte initial counter."""
+        if len(nonce) != BLOCK_SIZE:
+            raise CryptoError(f"CTR nonce must be 16 bytes, got {len(nonce)}")
+        out = bytearray()
+        counter = int.from_bytes(nonce, "big")
+        for offset in range(0, len(data), BLOCK_SIZE):
+            keystream = self.encrypt_block(counter.to_bytes(16, "big"))
+            chunk = data[offset : offset + BLOCK_SIZE]
+            out += bytes(c ^ k for c, k in zip(chunk, keystream))
+            counter = (counter + 1) % (1 << 128)
+        return bytes(out)
+
+    decrypt_ctr = encrypt_ctr
+
+    def cbc_mac(self, data: bytes) -> bytes:
+        """Raw CBC-MAC over zero-padded *data* (building block for S0 auth)."""
+        mac = bytes(BLOCK_SIZE)
+        padded = data + bytes(-len(data) % BLOCK_SIZE)
+        for offset in range(0, len(padded), BLOCK_SIZE):
+            block = padded[offset : offset + BLOCK_SIZE]
+            mac = self.encrypt_block(bytes(m ^ b for m, b in zip(mac, block)))
+        return mac

@@ -1,0 +1,88 @@
+"""Curve25519 Diffie-Hellman (RFC 7748) for the S2 key exchange.
+
+Z-Wave S2 bootstrapping exchanges Curve25519 public keys (the DSK printed
+on the device label is derived from them) and derives the network keys from
+the shared secret.  This is a straightforward pure-Python X25519 using the
+Montgomery ladder; validated against the RFC 7748 test vectors.
+"""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+
+P = 2**255 - 19
+A24 = 121665
+BASE_POINT = 9
+
+KEY_SIZE = 32
+
+
+def _decode_scalar(scalar: bytes) -> int:
+    """Clamp and decode a 32-byte X25519 scalar."""
+    if len(scalar) != KEY_SIZE:
+        raise CryptoError(f"X25519 scalar must be 32 bytes, got {len(scalar)}")
+    k = bytearray(scalar)
+    k[0] &= 248
+    k[31] &= 127
+    k[31] |= 64
+    return int.from_bytes(bytes(k), "little")
+
+
+def _decode_u(u: bytes) -> int:
+    """Decode a 32-byte u-coordinate (masking the top bit per RFC 7748)."""
+    if len(u) != KEY_SIZE:
+        raise CryptoError(f"X25519 point must be 32 bytes, got {len(u)}")
+    value = bytearray(u)
+    value[31] &= 127
+    return int.from_bytes(bytes(value), "little")
+
+
+def _encode_u(value: int) -> bytes:
+    return (value % P).to_bytes(KEY_SIZE, "little")
+
+
+def x25519(scalar: bytes, point: bytes) -> bytes:
+    """Scalar multiplication on Curve25519 (the X25519 function)."""
+    k = _decode_scalar(scalar)
+    u = _decode_u(point)
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        bit = (k >> t) & 1
+        swap ^= bit
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = bit
+        a = (x2 + z2) % P
+        aa = (a * a) % P
+        b = (x2 - z2) % P
+        bb = (b * b) % P
+        e = (aa - bb) % P
+        c = (x3 + z3) % P
+        d = (x3 - z3) % P
+        da = (d * a) % P
+        cb = (c * b) % P
+        x3 = pow(da + cb, 2, P)
+        z3 = (x1 * pow(da - cb, 2, P)) % P
+        x2 = (aa * bb) % P
+        z2 = (e * (aa + A24 * e)) % P
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    return _encode_u((x2 * pow(z2, P - 2, P)) % P)
+
+
+def public_key(private: bytes) -> bytes:
+    """Derive the public key for a 32-byte private scalar."""
+    return x25519(private, _encode_u(BASE_POINT))
+
+
+def shared_secret(private: bytes, peer_public: bytes) -> bytes:
+    """Compute the ECDH shared secret; rejects the all-zero output."""
+    secret = x25519(private, peer_public)
+    if secret == bytes(KEY_SIZE):
+        raise CryptoError("X25519 produced the all-zero shared secret")
+    return secret

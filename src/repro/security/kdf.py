@@ -1,0 +1,69 @@
+"""CKDF — the CMAC-based key derivation used by Z-Wave S2.
+
+S2 expands the ECDH shared secret into the temporary key during inclusion
+and expands each 16-byte network key into the triplet used on the wire:
+
+* the CCM encryption key,
+* the personalisation string for the SPAN nonce generator, and
+* the MPAN key for multicast.
+
+The construction follows the S2 specification's CKDF-TempExtract /
+CKDF-Expand shape: AES-CMAC under fixed-constant messages, making every
+derived key a deterministic function of its parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+from .cmac import aes_cmac
+
+#: Constants from the S2 key-derivation schedule.
+_TEMP_EXTRACT_CONST = b"\x33" * 16
+_CCM_KEY_CONST = b"\x88"
+_NONCE_PS_CONST = b"\x88"
+_MPAN_CONST = b"\x88"
+
+
+def ckdf_temp_extract(shared_secret: bytes, pub_a: bytes, pub_b: bytes) -> bytes:
+    """Extract the temporary inclusion key from an ECDH exchange.
+
+    ``PRK = CMAC(Const33, ECDH_secret | pub_a | pub_b)`` — binding the key
+    to both public keys defeats unknown-key-share substitution.
+    """
+    if len(shared_secret) != 32:
+        raise CryptoError("ECDH shared secret must be 32 bytes")
+    return aes_cmac(_TEMP_EXTRACT_CONST, shared_secret + pub_a + pub_b)
+
+
+@dataclass(frozen=True)
+class ExpandedKeys:
+    """The wire keys derived from one 16-byte network key."""
+
+    ccm_key: bytes
+    nonce_personalization: bytes
+    mpan_key: bytes
+
+
+def ckdf_expand(network_key: bytes) -> ExpandedKeys:
+    """Expand a network key into its CCM / nonce / MPAN components."""
+    if len(network_key) != 16:
+        raise CryptoError(f"network key must be 16 bytes, got {len(network_key)}")
+    t1 = aes_cmac(network_key, _CCM_KEY_CONST + b"\x00" * 14 + b"\x01")
+    t2 = aes_cmac(network_key, t1 + _NONCE_PS_CONST + b"\x00" * 14 + b"\x02")
+    t3 = aes_cmac(network_key, t2 + _MPAN_CONST + b"\x00" * 14 + b"\x03")
+    return ExpandedKeys(ccm_key=t1, nonce_personalization=t2, mpan_key=t3)
+
+
+def derive_s0_keys(network_key: bytes) -> tuple:
+    """Derive the S0 (encryption, authentication) key pair.
+
+    S0 derives its two working keys by encrypting fixed 16-byte patterns
+    under the network key; modelled here with CMAC for uniformity.
+    """
+    if len(network_key) != 16:
+        raise CryptoError(f"network key must be 16 bytes, got {len(network_key)}")
+    enc_key = aes_cmac(network_key, b"\xaa" * 16)
+    auth_key = aes_cmac(network_key, b"\x55" * 16)
+    return enc_key, auth_key

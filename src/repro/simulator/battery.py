@@ -1,0 +1,117 @@
+"""Battery-powered (sleeping) devices and the controller's wake-up queue.
+
+Battery devices keep their radio off and wake on the interval stored in
+the controller's NVM, announcing themselves with a WAKE_UP_NOTIFICATION;
+the controller then flushes any commands it queued while the device slept
+and ends the window with WAKE_UP_NO_MORE_INFORMATION semantics.
+
+This is the machinery bug #12 destroys: "Remove the device's wakeup
+interval value … the network becomes unresponsive, requiring manual
+intervention."  With the interval wiped from the node record, the
+controller no longer knows the device ever wakes, stops queueing for it,
+and the device becomes permanently unreachable — the concrete meaning of
+that Table III row's *Infinite* duration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from ..zwave.application import ApplicationPayload
+from ..zwave.nif import GenericDeviceClass
+from .controller import VirtualController
+from .slave import VirtualSlave
+
+#: WAKE_UP command identifiers (class 0x84).
+CMD_INTERVAL_SET = 0x04
+CMD_NOTIFICATION = 0x07
+
+#: How long a woken device keeps its radio on, in seconds.
+DEFAULT_AWAKE_WINDOW = 10.0
+
+
+class BatterySensor(VirtualSlave):
+    """A sleeping sensor: radio off except during wake windows."""
+
+    GENERIC_CLASS = GenericDeviceClass.SENSOR_BINARY
+    LISTED_CMDCLS = (0x20, 0x30, 0x80, 0x84, 0x86)
+
+    def __init__(
+        self,
+        *args,
+        wakeup_interval: float = 600.0,
+        awake_window: float = DEFAULT_AWAKE_WINDOW,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.wakeup_interval = wakeup_interval
+        self.awake_window = awake_window
+        self.awake = False
+        self.wakeups = 0
+        self.commands_received: List[bytes] = []
+        self._medium.set_enabled(self.name, False)  # born asleep
+        self._clock.schedule(self.wakeup_interval, self._wake)
+
+    # -- the sleep/wake cycle ---------------------------------------------------
+
+    def _wake(self) -> None:
+        self.awake = True
+        self.wakeups += 1
+        self._medium.set_enabled(self.name, True)
+        self._send(self.controller_id, ApplicationPayload(0x84, CMD_NOTIFICATION, b""))
+        self._clock.schedule(self.awake_window, self._sleep)
+        self._clock.schedule(self.wakeup_interval, self._wake)
+
+    def _sleep(self) -> None:
+        self.awake = False
+        self._medium.set_enabled(self.name, False)
+
+    def report_payload(self) -> ApplicationPayload:
+        return ApplicationPayload(0x30, 0x03, b"\x00")
+
+    def handle_command(self, frame, payload: ApplicationPayload) -> None:
+        self.commands_received.append(payload.encode())
+        if payload.cmdcl == 0x84 and payload.cmd == CMD_INTERVAL_SET:
+            if len(payload.params) >= 3:
+                seconds = int.from_bytes(payload.params[:3], "big")
+                if seconds > 0:
+                    self.wakeup_interval = float(seconds)
+
+
+class WakeupQueue:
+    """The controller-side mailbox for sleeping devices.
+
+    Commands addressed to a battery node wait here until its
+    WAKE_UP_NOTIFICATION arrives.  The queue *refuses* targets whose node
+    record carries no wake-up interval — a controller that does not know
+    a device ever wakes cannot schedule anything for it, which is how the
+    bug #12 memory wipe strands the device.
+    """
+
+    def __init__(self, controller: VirtualController):
+        self._controller = controller
+        self._pending: Dict[int, Deque[ApplicationPayload]] = {}
+        self.delivered = 0
+        self.rejected = 0
+        controller.apl_listeners.append(self._on_report)
+
+    def pending_for(self, node_id: int) -> int:
+        return len(self._pending.get(node_id, ()))
+
+    def queue_command(self, node_id: int, payload: ApplicationPayload) -> bool:
+        """Queue *payload* for a sleeping node; ``False`` when impossible."""
+        record = self._controller.nvm.get(node_id)
+        if record is None or record.wakeup_interval is None:
+            self.rejected += 1
+            return False
+        self._pending.setdefault(node_id, deque()).append(payload)
+        return True
+
+    def _on_report(self, src: int, payload: ApplicationPayload) -> None:
+        if payload.cmdcl != 0x84 or payload.cmd != CMD_NOTIFICATION:
+            return
+        queue = self._pending.get(src)
+        while queue:
+            self._controller.send_command(src, queue.popleft())
+            self.delivered += 1

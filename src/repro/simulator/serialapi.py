@@ -1,0 +1,316 @@
+"""The Serial API: how host software drives a USB-stick controller.
+
+The paper's D1-D5 are USB interface controllers operated through the
+"Z-Wave PC Controller program" on a Windows laptop.  That program speaks
+the Silicon Labs **Serial API** over a UART: framed request/response
+exchanges (SOF | LEN | TYPE | FUNC_ID | data | checksum, with single-byte
+ACK/NAK/CAN flow control) plus unsolicited ``APPLICATION_COMMAND_HANDLER``
+callbacks carrying received radio payloads.
+
+This module implements that interface against :class:`VirtualController`:
+
+* :class:`SerialFrame` — the wire codec with its XOR checksum;
+* :class:`SerialLink` — an in-memory duplex byte pipe (the virtual UART);
+* :class:`SerialApiChip` — the controller-side command processor;
+* :class:`PCControllerClient` — the host-side convenience API the
+  examples use to "look at the PC Controller program's node list" (the
+  view the paper's Figures 8-11 screenshots show).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import SimulatorError
+from ..zwave.application import ApplicationPayload
+from .controller import VirtualController
+
+#: Framing bytes.
+SOF = 0x01
+ACK = 0x06
+NAK = 0x15
+CAN = 0x18
+
+#: Frame types.
+TYPE_REQUEST = 0x00
+TYPE_RESPONSE = 0x01
+
+#: Serial API function identifiers (the classic subset).
+FUNC_GET_INIT_DATA = 0x02
+FUNC_APPLICATION_COMMAND_HANDLER = 0x04
+FUNC_SOFT_RESET = 0x08
+FUNC_SEND_DATA = 0x13
+FUNC_GET_VERSION = 0x15
+FUNC_MEMORY_GET_ID = 0x20
+FUNC_GET_NODE_PROTOCOL_INFO = 0x41
+FUNC_REMOVE_FAILED_NODE = 0x61
+
+#: The node bitmask in GET_INIT_DATA covers 232 nodes in 29 bytes.
+NODE_BITMASK_LENGTH = 29
+
+
+def _checksum(body: bytes) -> int:
+    """Serial API checksum: XOR of LEN..data seeded with 0xFF."""
+    acc = 0xFF
+    for byte in body:
+        acc ^= byte
+    return acc
+
+
+@dataclass(frozen=True)
+class SerialFrame:
+    """One framed Serial API message."""
+
+    frame_type: int
+    func_id: int
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        body = bytes([len(self.data) + 3, self.frame_type, self.func_id]) + self.data
+        return bytes([SOF]) + body + bytes([_checksum(body)])
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "SerialFrame":
+        if len(raw) < 5 or raw[0] != SOF:
+            raise SimulatorError("malformed serial frame: bad SOF or length")
+        length = raw[1]
+        if length + 2 != len(raw):
+            raise SimulatorError("malformed serial frame: LEN mismatch")
+        body, checksum = raw[1:-1], raw[-1]
+        if _checksum(body) != checksum:
+            raise SimulatorError("malformed serial frame: checksum mismatch")
+        return cls(frame_type=raw[2], func_id=raw[3], data=bytes(raw[4:-1]))
+
+
+class SerialLink:
+    """An in-memory duplex UART: two byte queues."""
+
+    def __init__(self):
+        self._to_chip: Deque[int] = deque()
+        self._to_host: Deque[int] = deque()
+
+    # Host side -----------------------------------------------------------------
+    def host_write(self, data: bytes) -> None:
+        self._to_chip.extend(data)
+
+    def host_read_all(self) -> bytes:
+        out = bytes(self._to_host)
+        self._to_host.clear()
+        return out
+
+    # Chip side -----------------------------------------------------------------
+    def chip_write(self, data: bytes) -> None:
+        self._to_host.extend(data)
+
+    def chip_read_all(self) -> bytes:
+        out = bytes(self._to_chip)
+        self._to_chip.clear()
+        return out
+
+
+def _split_stream(stream: bytes) -> Tuple[List[bytes], List[int]]:
+    """Split a UART byte stream into frames and single-byte controls."""
+    frames: List[bytes] = []
+    controls: List[int] = []
+    index = 0
+    while index < len(stream):
+        byte = stream[index]
+        if byte in (ACK, NAK, CAN):
+            controls.append(byte)
+            index += 1
+            continue
+        if byte == SOF and index + 1 < len(stream):
+            length = stream[index + 1]
+            end = index + length + 2
+            if end <= len(stream):
+                frames.append(stream[index:end])
+                index = end
+                continue
+        index += 1  # resynchronise on garbage
+    return frames, controls
+
+
+class SerialApiChip:
+    """The controller-side Serial API command processor."""
+
+    VERSION_STRING = b"Z-Wave 7.18\x00"
+    LIBRARY_TYPE = 0x07  # bridge controller library
+
+    def __init__(self, controller: VirtualController, link: SerialLink):
+        self._controller = controller
+        self._link = link
+        self._pending_callbacks: Deque[SerialFrame] = deque()
+        controller.apl_listeners.append(self._on_radio_payload)
+        self.requests_handled = 0
+        self.naks_sent = 0
+
+    # -- unsolicited path ------------------------------------------------------------
+
+    def _on_radio_payload(self, src: int, payload: ApplicationPayload) -> None:
+        apl = payload.encode()
+        data = bytes([0x00, src, len(apl)]) + apl
+        self._pending_callbacks.append(
+            SerialFrame(TYPE_REQUEST, FUNC_APPLICATION_COMMAND_HANDLER, data)
+        )
+
+    # -- request processing -----------------------------------------------------------
+
+    def process(self) -> None:
+        """Drain the host->chip queue, answer requests, flush callbacks."""
+        stream = self._link.chip_read_all()
+        frames, _controls = _split_stream(stream)
+        for raw in frames:
+            try:
+                frame = SerialFrame.decode(raw)
+            except SimulatorError:
+                self._link.chip_write(bytes([NAK]))
+                self.naks_sent += 1
+                continue
+            self._link.chip_write(bytes([ACK]))
+            response = self._dispatch(frame)
+            if response is not None:
+                self._link.chip_write(response.encode())
+            self.requests_handled += 1
+        while self._pending_callbacks:
+            self._link.chip_write(self._pending_callbacks.popleft().encode())
+
+    def _dispatch(self, frame: SerialFrame) -> Optional[SerialFrame]:
+        if frame.frame_type != TYPE_REQUEST:
+            return None
+        controller = self._controller
+        if frame.func_id == FUNC_GET_VERSION:
+            data = self.VERSION_STRING + bytes([self.LIBRARY_TYPE])
+            return SerialFrame(TYPE_RESPONSE, FUNC_GET_VERSION, data)
+        if frame.func_id == FUNC_MEMORY_GET_ID:
+            data = controller.home_id.to_bytes(4, "big") + bytes([controller.node_id])
+            return SerialFrame(TYPE_RESPONSE, FUNC_MEMORY_GET_ID, data)
+        if frame.func_id == FUNC_GET_INIT_DATA:
+            bitmask = bytearray(NODE_BITMASK_LENGTH)
+            for node_id in controller.nvm.node_ids():
+                bitmask[(node_id - 1) // 8] |= 1 << ((node_id - 1) % 8)
+            own = controller.node_id
+            bitmask[(own - 1) // 8] |= 1 << ((own - 1) % 8)
+            data = bytes([0x05, 0x00, NODE_BITMASK_LENGTH]) + bytes(bitmask)
+            return SerialFrame(TYPE_RESPONSE, FUNC_GET_INIT_DATA, data)
+        if frame.func_id == FUNC_GET_NODE_PROTOCOL_INFO:
+            if not frame.data:
+                return SerialFrame(TYPE_RESPONSE, FUNC_GET_NODE_PROTOCOL_INFO, bytes(6))
+            record = controller.nvm.get(frame.data[0])
+            if record is None:
+                data = bytes(6)
+            else:
+                capability = 0x80 if record.listening else 0x00
+                security = record.granted_keys if record.secure else 0x00
+                data = bytes(
+                    [capability, security, 0x00, record.basic, record.generic, record.specific]
+                )
+            return SerialFrame(TYPE_RESPONSE, FUNC_GET_NODE_PROTOCOL_INFO, data)
+        if frame.func_id == FUNC_SEND_DATA:
+            if len(frame.data) < 2:
+                return SerialFrame(TYPE_RESPONSE, FUNC_SEND_DATA, bytes([0x00]))
+            dst, length = frame.data[0], frame.data[1]
+            apl = frame.data[2 : 2 + length]
+            if apl:
+                try:
+                    controller.send_command(dst, ApplicationPayload.decode(apl))
+                    return SerialFrame(TYPE_RESPONSE, FUNC_SEND_DATA, bytes([0x01]))
+                except Exception:
+                    pass
+            return SerialFrame(TYPE_RESPONSE, FUNC_SEND_DATA, bytes([0x00]))
+        if frame.func_id == FUNC_SOFT_RESET:
+            controller.power_cycle()
+            return None  # soft reset has no response frame
+        if frame.func_id == FUNC_REMOVE_FAILED_NODE:
+            if frame.data and frame.data[0] in controller.nvm:
+                controller.nvm.remove(frame.data[0])
+                return SerialFrame(TYPE_RESPONSE, FUNC_REMOVE_FAILED_NODE, bytes([0x01]))
+            return SerialFrame(TYPE_RESPONSE, FUNC_REMOVE_FAILED_NODE, bytes([0x00]))
+        # Unknown function: the chip answers with an empty response.
+        return SerialFrame(TYPE_RESPONSE, frame.func_id, b"")
+
+
+class PCControllerClient:
+    """Host-side convenience wrapper: what the PC program shows the user."""
+
+    def __init__(self, chip: SerialApiChip, link: SerialLink):
+        self._chip = chip
+        self._link = link
+        self._events: List[Tuple[int, bytes]] = []
+
+    def _transact(self, func_id: int, data: bytes = b"") -> Optional[SerialFrame]:
+        self._link.host_write(SerialFrame(TYPE_REQUEST, func_id, data).encode())
+        self._chip.process()
+        frames, controls = _split_stream(self._link.host_read_all())
+        if ACK not in controls:
+            raise SimulatorError("chip did not acknowledge the request")
+        response = None
+        for raw in frames:
+            frame = SerialFrame.decode(raw)
+            if frame.frame_type == TYPE_RESPONSE and frame.func_id == func_id:
+                response = frame
+            elif frame.func_id == FUNC_APPLICATION_COMMAND_HANDLER:
+                src = frame.data[1]
+                length = frame.data[2]
+                self._events.append((src, frame.data[3 : 3 + length]))
+        return response
+
+    # -- the user-visible operations ------------------------------------------------
+
+    def get_version(self) -> str:
+        response = self._transact(FUNC_GET_VERSION)
+        return response.data[:-1].rstrip(b"\x00").decode()
+
+    def memory_get_id(self) -> Tuple[int, int]:
+        response = self._transact(FUNC_MEMORY_GET_ID)
+        return int.from_bytes(response.data[:4], "big"), response.data[4]
+
+    def node_list(self) -> List[int]:
+        """The node list pane of Figures 8-11."""
+        response = self._transact(FUNC_GET_INIT_DATA)
+        bitmask = response.data[3 : 3 + NODE_BITMASK_LENGTH]
+        nodes = []
+        for node_id in range(1, 233):
+            if bitmask[(node_id - 1) // 8] & (1 << ((node_id - 1) % 8)):
+                nodes.append(node_id)
+        return nodes
+
+    def node_protocol_info(self, node_id: int) -> Dict[str, int]:
+        """The per-node detail pane: capability/security/device classes."""
+        response = self._transact(FUNC_GET_NODE_PROTOCOL_INFO, bytes([node_id]))
+        capability, security, _, basic, generic, specific = response.data[:6]
+        return {
+            "capability": capability,
+            "security": security,
+            "basic": basic,
+            "generic": generic,
+            "specific": specific,
+        }
+
+    def send_data(self, dst: int, apl: bytes) -> bool:
+        response = self._transact(FUNC_SEND_DATA, bytes([dst, len(apl)]) + apl)
+        return bool(response.data and response.data[0])
+
+    def soft_reset(self) -> None:
+        self._transact(FUNC_SOFT_RESET)
+
+    def poll_events(self) -> List[Tuple[int, bytes]]:
+        """Drain APPLICATION_COMMAND_HANDLER callbacks (src, APL bytes)."""
+        self._chip.process()
+        frames, _ = _split_stream(self._link.host_read_all())
+        for raw in frames:
+            frame = SerialFrame.decode(raw)
+            if frame.func_id == FUNC_APPLICATION_COMMAND_HANDLER:
+                src = frame.data[1]
+                length = frame.data[2]
+                self._events.append((src, frame.data[3 : 3 + length]))
+        events, self._events = self._events, []
+        return events
+
+
+def attach_pc_controller(controller: VirtualController) -> PCControllerClient:
+    """Wire a PC-Controller-style host onto *controller* and return it."""
+    link = SerialLink()
+    chip = SerialApiChip(controller, link)
+    return PCControllerClient(chip, link)

@@ -1,0 +1,109 @@
+"""Protocol-level constants for the simulated Z-Wave stack.
+
+Values follow the public ITU-T G.9959 / Z-Wave specification where the paper
+relies on them (frame geometry, frequencies, header types) and are chosen to
+match Figure 1 of the ZCover paper: a MAC frame of
+
+    H-ID(4) | SRC(1) | P1(1) | P2(1) | LEN(1) | DST(1) | APL payload | CS(1)
+
+with the application payload being ``CMDCL | CMD | PARAM...``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: Maximum size of a Z-Wave MAC frame in bytes (Section II-A of the paper).
+MAX_MAC_FRAME_SIZE = 64
+
+#: Size of the MAC header: home id (4) + src (1) + P1 (1) + P2 (1) +
+#: len (1) + dst (1).
+MAC_HEADER_SIZE = 9
+
+#: Size of the single-byte CS-8 checksum trailer.
+CS8_TRAILER_SIZE = 1
+
+#: Size of the CRC-16 trailer used by 100-series-and-later chips.
+CRC16_TRAILER_SIZE = 2
+
+#: Maximum application-layer payload with a CS-8 trailer.
+MAX_APL_PAYLOAD_SIZE = MAX_MAC_FRAME_SIZE - MAC_HEADER_SIZE - CS8_TRAILER_SIZE
+
+#: Broadcast destination node id.
+BROADCAST_NODE_ID = 0xFF
+
+#: Node id reserved for "uninitialised".
+UNASSIGNED_NODE_ID = 0x00
+
+#: The controller in a freshly-built network is always node 1 (Table IV).
+CONTROLLER_NODE_ID = 0x01
+
+#: Number of possible command-class identifiers (one byte).
+CMDCL_SPACE = 256
+
+#: Number of possible command identifiers (one byte).
+CMD_SPACE = 256
+
+
+class Region(IntEnum):
+    """RF regions with their centre frequencies in kHz.
+
+    The paper's testbed tunes the YardStick One to 868 or 908 MHz.
+    """
+
+    EU = 868_400
+    US = 908_400
+    ANZ = 919_800
+    HK = 919_800
+    IN = 865_200
+    IL = 916_000
+    RU = 869_000
+    CN = 868_400
+    JP = 922_500
+    KR = 920_900
+
+
+#: Supported sampling rates for the virtual transceiver, in kilobaud.
+#: R1/R2/R3 are the three G.9959 data rates.
+DATA_RATES_KBAUD = (9.6, 40.0, 100.0)
+
+
+class HeaderType(IntEnum):
+    """Frame-control P1 header types (lower nibble of P1)."""
+
+    SINGLECAST = 0x01
+    MULTICAST = 0x02
+    ACK = 0x03
+    ROUTED = 0x08
+
+
+#: P1 bit flags (upper nibble).
+P1_ROUTED_FLAG = 0x80
+P1_ACK_REQUEST_FLAG = 0x40
+P1_LOW_POWER_FLAG = 0x20
+P1_SPEED_MODIFIED_FLAG = 0x10
+
+#: P2 fields: upper nibble reserved/sequence, lower nibble beam/routing info.
+P2_SEQUENCE_MASK = 0x0F
+
+
+class TransportMode(IntEnum):
+    """The three Z-Wave transport encapsulation modes (Section II-A1)."""
+
+    NO_SECURITY = 0
+    S0 = 1
+    S2 = 2
+
+
+#: Byte offsets of MAC header fields inside a raw frame (Figure 1).
+HOME_ID_SLICE = slice(0, 4)
+SRC_OFFSET = 4
+P1_OFFSET = 5
+P2_OFFSET = 6
+LEN_OFFSET = 7
+DST_OFFSET = 8
+APL_OFFSET = 9
+
+#: The NOP "ping" used for liveness monitoring is a zero-length payload
+#: frame whose first byte is the NOP pseudo command class.
+NOP_CMDCL = 0x00

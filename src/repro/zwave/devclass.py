@@ -1,0 +1,146 @@
+"""The Z-Wave device-class taxonomy (basic / generic / specific).
+
+Every node self-describes through a three-level classification carried in
+its NIF; the controller uses it to decide which command classes to expect
+(Section III-C1's clustering leans on the same idea).  This module encodes
+the taxonomy as data and provides the lookups the dissector, the NIF
+tooling and the discovery heuristics use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .nif import BasicDeviceClass
+
+#: Basic device class names.
+BASIC_CLASS_NAMES: Dict[int, str] = {
+    0x01: "CONTROLLER",
+    0x02: "STATIC_CONTROLLER",
+    0x03: "SLAVE",
+    0x04: "ROUTING_SLAVE",
+}
+
+
+@dataclass(frozen=True)
+class SpecificClass:
+    """One specific device class within a generic class."""
+
+    id: int
+    name: str
+    typical_cmdcls: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class GenericClass:
+    """One generic device class with its specific refinements."""
+
+    id: int
+    name: str
+    specifics: Tuple[SpecificClass, ...] = ()
+    typical_cmdcls: Tuple[int, ...] = ()
+
+    def specific(self, specific_id: int) -> Optional[SpecificClass]:
+        for spec in self.specifics:
+            if spec.id == specific_id:
+                return spec
+        return None
+
+
+def _g(gid: int, name: str, cmdcls: Tuple[int, ...], *specifics) -> GenericClass:
+    return GenericClass(gid, name, tuple(specifics), cmdcls)
+
+
+def _s(sid: int, name: str, cmdcls: Tuple[int, ...] = ()) -> SpecificClass:
+    return SpecificClass(sid, name, cmdcls)
+
+
+#: The generic device classes of the device-class specification (subset
+#: covering the testbed plus the common smart-home taxonomy).
+GENERIC_CLASSES: Tuple[GenericClass, ...] = (
+    _g(0x01, "GENERIC_CONTROLLER", (0x20, 0x72, 0x86),
+       _s(0x01, "PORTABLE_REMOTE_CONTROLLER"),
+       _s(0x02, "PORTABLE_SCENE_CONTROLLER", (0x2B, 0x2C)),
+       _s(0x06, "REMOTE_CONTROL_AV"),
+       _s(0x07, "REMOTE_CONTROL_SIMPLE")),
+    _g(0x02, "STATIC_CONTROLLER", (0x20, 0x72, 0x86, 0x98, 0x9F),
+       _s(0x01, "PC_CONTROLLER"),
+       _s(0x02, "SCENE_CONTROLLER", (0x2B,)),
+       _s(0x03, "STATIC_INSTALLER_TOOL"),
+       _s(0x07, "GATEWAY", (0x5E, 0x6C))),
+    _g(0x08, "THERMOSTAT", (0x20, 0x40, 0x43, 0x72, 0x86),
+       _s(0x01, "THERMOSTAT_HEATING"),
+       _s(0x02, "THERMOSTAT_GENERAL", (0x40, 0x42, 0x43, 0x44)),
+       _s(0x06, "THERMOSTAT_GENERAL_V2")),
+    _g(0x10, "BINARY_SWITCH", (0x20, 0x25, 0x72, 0x86),
+       _s(0x01, "POWER_SWITCH_BINARY", (0x25, 0x27)),
+       _s(0x03, "SCENE_SWITCH_BINARY", (0x25, 0x2B)),
+       _s(0x05, "SIREN", (0x25, 0x71))),
+    _g(0x11, "MULTILEVEL_SWITCH", (0x20, 0x26, 0x72, 0x86),
+       _s(0x01, "POWER_SWITCH_MULTILEVEL", (0x26, 0x27)),
+       _s(0x05, "MOTOR_CONTROL_A", (0x25, 0x26)),
+       _s(0x06, "MOTOR_CONTROL_B"),
+       _s(0x07, "MOTOR_CONTROL_C")),
+    _g(0x12, "REMOTE_SWITCH", (0x20,),
+       _s(0x01, "SWITCH_REMOTE_BINARY", (0x25,))),
+    _g(0x20, "SENSOR_BINARY", (0x20, 0x30, 0x72, 0x80, 0x86),
+       _s(0x01, "ROUTING_SENSOR_BINARY", (0x30,))),
+    _g(0x21, "SENSOR_MULTILEVEL", (0x20, 0x31, 0x72, 0x80, 0x86),
+       _s(0x01, "ROUTING_SENSOR_MULTILEVEL", (0x31,))),
+    _g(0x31, "METER", (0x20, 0x32, 0x72, 0x86),
+       _s(0x01, "SIMPLE_METER", (0x32,))),
+    _g(0x40, "ENTRY_CONTROL", (0x20, 0x62, 0x72, 0x80, 0x86, 0x98, 0x9F),
+       _s(0x01, "DOOR_LOCK", (0x62,)),
+       _s(0x02, "ADVANCED_DOOR_LOCK", (0x62, 0x63)),
+       _s(0x03, "SECURE_KEYPAD_DOOR_LOCK", (0x62, 0x63, 0x4C)),
+       _s(0x07, "SECURE_BARRIER_ADDON", (0x66,))),
+    _g(0xA1, "SENSOR_ALARM", (0x20, 0x71, 0x72, 0x80, 0x86),
+       _s(0x01, "BASIC_ROUTING_ALARM_SENSOR", (0x71, 0x9C)),
+       _s(0x05, "ZENSOR_NET_ALARM_SENSOR", (0x02, 0x71))),
+)
+
+_GENERIC_BY_ID: Dict[int, GenericClass] = {g.id: g for g in GENERIC_CLASSES}
+
+
+def generic_class(generic_id: int) -> Optional[GenericClass]:
+    """Return the generic class with identifier *generic_id*."""
+    return _GENERIC_BY_ID.get(generic_id)
+
+
+def describe_device(basic: int, generic: int, specific: int = 0x00) -> str:
+    """Human-readable description of a (basic, generic, specific) triple.
+
+    >>> describe_device(0x02, 0x02, 0x07)
+    'STATIC_CONTROLLER / STATIC_CONTROLLER / GATEWAY'
+    """
+    basic_name = BASIC_CLASS_NAMES.get(basic, f"0x{basic:02X}")
+    gen = generic_class(generic)
+    if gen is None:
+        return f"{basic_name} / 0x{generic:02X} / 0x{specific:02X}"
+    if specific == 0x00:
+        return f"{basic_name} / {gen.name}"
+    spec = gen.specific(specific)
+    spec_name = spec.name if spec else f"0x{specific:02X}"
+    return f"{basic_name} / {gen.name} / {spec_name}"
+
+
+def expected_cmdcls(generic: int, specific: int = 0x00) -> Tuple[int, ...]:
+    """Command classes a device of this type typically implements.
+
+    Used as a reconnaissance heuristic: when a NIF is unavailable, the
+    device class alone predicts most of the command surface.
+    """
+    gen = generic_class(generic)
+    if gen is None:
+        return ()
+    classes = set(gen.typical_cmdcls)
+    spec = gen.specific(specific)
+    if spec is not None:
+        classes |= set(spec.typical_cmdcls)
+    return tuple(sorted(classes))
+
+
+def is_controller_class(basic: int) -> bool:
+    """Whether the basic class denotes a controller-role node."""
+    return basic in (BasicDeviceClass.CONTROLLER, BasicDeviceClass.STATIC_CONTROLLER)

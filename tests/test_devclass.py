@@ -1,0 +1,78 @@
+"""Tests for the device-class taxonomy."""
+
+import pytest
+
+from repro.zwave.devclass import (
+    BASIC_CLASS_NAMES,
+    GENERIC_CLASSES,
+    describe_device,
+    expected_cmdcls,
+    generic_class,
+    is_controller_class,
+)
+
+
+class TestTaxonomy:
+    def test_generic_ids_unique(self):
+        ids = [g.id for g in GENERIC_CLASSES]
+        assert len(set(ids)) == len(ids)
+
+    def test_specific_ids_unique_within_generic(self):
+        for generic in GENERIC_CLASSES:
+            ids = [s.id for s in generic.specifics]
+            assert len(set(ids)) == len(ids), generic.name
+
+    def test_lookup(self):
+        assert generic_class(0x40).name == "ENTRY_CONTROL"
+        assert generic_class(0x40).specific(0x03).name == "SECURE_KEYPAD_DOOR_LOCK"
+        assert generic_class(0xEE) is None
+
+    def test_basic_names_cover_spec(self):
+        assert set(BASIC_CLASS_NAMES) == {0x01, 0x02, 0x03, 0x04}
+
+
+class TestDescribe:
+    def test_full_triple(self):
+        text = describe_device(0x02, 0x02, 0x07)
+        assert text == "STATIC_CONTROLLER / STATIC_CONTROLLER / GATEWAY"
+
+    def test_without_specific(self):
+        assert describe_device(0x03, 0x10) == "SLAVE / BINARY_SWITCH"
+
+    def test_unknown_generic_falls_back_to_hex(self):
+        assert describe_device(0x03, 0xEE, 0x05) == "SLAVE / 0xEE / 0x05"
+
+    def test_unknown_specific_falls_back_to_hex(self):
+        assert describe_device(0x03, 0x10, 0x77).endswith("0x77")
+
+    def test_testbed_lock_description(self):
+        # D8's NIF triple as paired in the testbed.
+        assert "SECURE_KEYPAD_DOOR_LOCK" in describe_device(0x03, 0x40, 0x03)
+
+
+class TestExpectedCmdcls:
+    def test_door_lock_expects_0x62(self):
+        classes = expected_cmdcls(0x40, 0x01)
+        assert 0x62 in classes
+        assert 0x9F in classes  # modern locks are S2
+
+    def test_specific_adds_to_generic(self):
+        generic_only = set(expected_cmdcls(0x40))
+        with_specific = set(expected_cmdcls(0x40, 0x03))
+        assert generic_only < with_specific
+        assert 0x4C in with_specific  # door lock logging
+
+    def test_unknown_generic_empty(self):
+        assert expected_cmdcls(0xEE) == ()
+
+    def test_sorted_output(self):
+        classes = expected_cmdcls(0x40, 0x02)
+        assert list(classes) == sorted(classes)
+
+
+class TestRoles:
+    def test_controller_roles(self):
+        assert is_controller_class(0x01)
+        assert is_controller_class(0x02)
+        assert not is_controller_class(0x03)
+        assert not is_controller_class(0x04)

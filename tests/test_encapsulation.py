@@ -1,0 +1,98 @@
+"""Tests for the plaintext transport encapsulations (0x6C/0x56/0x60)."""
+
+import pytest
+
+from repro.simulator.testbed import LOCK_NODE_ID, build_sut
+from repro.zwave.checksum import crc16
+from repro.zwave.frame import ZWaveFrame
+
+
+def inject(sut, payload, src=0x0F):
+    frame = ZWaveFrame(
+        home_id=sut.profile.home_id, src=src, dst=1, payload=bytes(payload)
+    )
+    sut.dongle.clear_captures()
+    sut.dongle.inject(frame)
+    sut.clock.advance(0.3)
+    return [
+        c.frame.payload
+        for c in sut.dongle.captures()
+        if c.frame and not c.frame.is_ack and c.frame.payload and c.frame.src == 1
+    ]
+
+
+def supervision_get(inner, session=0x21):
+    return bytes([0x6C, 0x01, session, len(inner)]) + bytes(inner)
+
+
+def crc16_encap(inner):
+    covered = bytes([0x56, 0x01]) + bytes(inner)
+    return covered + crc16(covered).to_bytes(2, "big")
+
+
+def multichannel_encap(inner, src_ep=1, dst_ep=0):
+    return bytes([0x60, 0x0D, src_ep, dst_ep]) + bytes(inner)
+
+
+class TestSupervision:
+    def test_wrapped_get_earns_report_and_supervision_success(self, quiet_sut):
+        replies = inject(quiet_sut, supervision_get([0x86, 0x11]))
+        assert any(p[:2] == b"\x86\x12" for p in replies)  # VERSION_REPORT
+        status = next(p for p in replies if p[0] == 0x6C and p[1] == 0x02)
+        assert status[2] == 0x21  # session echoed
+        assert status[3] == 0xFF  # SUCCESS
+
+    def test_unsupported_inner_reports_no_support(self, quiet_sut):
+        replies = inject(quiet_sut, supervision_get([0x31, 0x04]))  # sensor class
+        status = next(p for p in replies if p[0] == 0x6C and p[1] == 0x02)
+        assert status[3] == 0x00  # NO_SUPPORT
+
+    def test_empty_supervision_still_answered(self, quiet_sut):
+        replies = inject(quiet_sut, bytes([0x6C, 0x01, 0x05, 0x00]))
+        status = next(p for p in replies if p[0] == 0x6C and p[1] == 0x02)
+        assert status[3] == 0x00
+
+    def test_supervised_attack_payload_still_fires(self, quiet_sut):
+        """Encapsulation does not launder the Table III triggers."""
+        inject(quiet_sut, supervision_get([0x01, 0x0D, LOCK_NODE_ID, 0x03]))
+        assert LOCK_NODE_ID not in quiet_sut.controller.nvm
+
+
+class TestCrc16Encap:
+    def test_valid_crc_processes_inner(self, quiet_sut):
+        replies = inject(quiet_sut, crc16_encap([0x86, 0x11]))
+        assert any(p[:2] == b"\x86\x12" for p in replies)
+
+    def test_bad_crc_rejected(self, quiet_sut):
+        payload = bytearray(crc16_encap([0x86, 0x11]))
+        payload[-1] ^= 0x01
+        before = quiet_sut.controller.stats.rejected_checksum
+        replies = inject(quiet_sut, bytes(payload))
+        assert not any(p[:2] == b"\x86\x12" for p in replies)
+        assert quiet_sut.controller.stats.rejected_checksum == before + 1
+
+    def test_truncated_encap_ignored(self, quiet_sut):
+        replies = inject(quiet_sut, bytes([0x56, 0x01, 0x86]))
+        assert not any(p[:2] == b"\x86\x12" for p in replies)
+
+
+class TestMultiChannel:
+    def test_endpoint_wrapped_get(self, quiet_sut):
+        replies = inject(quiet_sut, multichannel_encap([0x86, 0x11]))
+        assert any(p[:2] == b"\x86\x12" for p in replies)
+
+    def test_short_encap_falls_through(self, quiet_sut):
+        replies = inject(quiet_sut, bytes([0x60, 0x0D, 0x01]))
+        assert not any(p[:2] == b"\x86\x12" for p in replies)
+
+
+class TestNestingBound:
+    def test_two_levels_accepted(self, quiet_sut):
+        nested = supervision_get(crc16_encap([0x86, 0x11]))
+        replies = inject(quiet_sut, nested)
+        assert any(p[:2] == b"\x86\x12" for p in replies)
+
+    def test_third_level_refused(self, quiet_sut):
+        triple = supervision_get(crc16_encap(multichannel_encap([0x86, 0x11])))
+        replies = inject(quiet_sut, triple)
+        assert not any(p[:2] == b"\x86\x12" for p in replies)

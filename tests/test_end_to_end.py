@@ -1,0 +1,116 @@
+"""End-to-end reproduction checks: the paper's headline numbers.
+
+These are the expensive integration tests (a few seconds each): one-hour
+simulated campaigns whose outcomes must land on the paper's Tables IV/V/VI
+shapes.  Faster unit-level equivalents live in the per-module test files.
+"""
+
+import pytest
+
+from repro.core.baseline import VFuzzBaseline
+from repro.core.campaign import HOUR, Mode, run_campaign
+from repro.simulator.testbed import build_sut
+
+
+@pytest.fixture(scope="module")
+def full_hour_d1():
+    return run_campaign("D1", Mode.FULL, duration=HOUR, seed=0)
+
+
+class TestHeadlineResult:
+    def test_full_zcover_finds_all_fifteen_zero_days(self, full_hour_d1):
+        assert full_hour_d1.unique_vulnerabilities == 15
+        assert full_hour_d1.matched_bug_ids == tuple(range(1, 16))
+
+    def test_coverage_matches_table5(self, full_hour_d1):
+        assert full_hour_d1.fuzz.cmdcl_coverage == 45
+        assert full_hour_d1.fuzz.cmd_coverage == 53
+
+    def test_most_bugs_found_within_600s(self, full_hour_d1):
+        """Figure 12: discovery concentrates in the initial fuzzing phase."""
+        early = [t for t, _, _ in full_hour_d1.discovery_timeline() if t <= 700.0]
+        assert len(early) >= 10
+
+    def test_packet_rate_near_800_per_600s(self, full_hour_d1):
+        points = [p for p in full_hour_d1.fuzz.timeline if p.timestamp <= 600.0]
+        assert points
+        assert 650 <= points[-1].packets <= 850
+
+    def test_fingerprint_matches_table4(self, full_hour_d1):
+        props = full_hour_d1.properties
+        assert props.home_id == 0xE7DE3F3D
+        assert props.controller_node_id == 1
+        assert props.known_count == 17
+        assert props.unknown_count == 28
+
+
+class TestAblationShape:
+    """Table VI: full(15) > beta(8) > gamma(~6)."""
+
+    def test_beta_finds_exactly_eight(self):
+        result = run_campaign("D1", Mode.BETA, duration=HOUR, seed=0)
+        assert result.unique_vulnerabilities == 8
+        assert set(result.matched_bug_ids) == {6, 7, 8, 9, 10, 11, 13, 15}
+
+    def test_gamma_finds_roughly_six(self):
+        result = run_campaign("D1", Mode.GAMMA, duration=HOUR, seed=1)
+        assert 4 <= result.unique_vulnerabilities <= 8
+
+    def test_ordering_holds(self, full_hour_d1):
+        beta = run_campaign("D1", Mode.BETA, duration=HOUR, seed=0)
+        gamma = run_campaign("D1", Mode.GAMMA, duration=HOUR, seed=1)
+        assert (
+            full_hour_d1.unique_vulnerabilities
+            > beta.unique_vulnerabilities
+            > gamma.unique_vulnerabilities
+        )
+
+
+class TestVFuzzComparisonShape:
+    """Table V on a reduced (3-hour) horizon: counts and disjointness."""
+
+    @pytest.mark.parametrize("device,expected", [("D1", 1), ("D3", 0)])
+    def test_vfuzz_unique_counts(self, device, expected):
+        sut = build_sut(device, seed=0)
+        result = VFuzzBaseline(sut, seed=0).run(3 * HOUR)
+        assert result.unique_vulnerabilities == expected
+
+    def test_finding_sets_disjoint(self, full_hour_d1):
+        sut = build_sut("D1", seed=0)
+        vfuzz = VFuzzBaseline(sut, seed=0).run(3 * HOUR)
+        zcover_bugs = set(full_hour_d1.matched_bug_ids)
+        assert not zcover_bugs & set()  # ZCover finds only zero-days...
+        assert vfuzz.zero_day_payloads == []  # ...VFuzz finds none of them.
+        assert set(vfuzz.quirks_found) == {"LEN-OVERRUN"}
+
+
+class TestCrossDeviceCampaigns:
+    """Full campaigns on other testbed controllers."""
+
+    def test_d4_finds_all_fifteen(self):
+        result = run_campaign("D4", Mode.FULL, duration=HOUR, seed=0)
+        assert result.matched_bug_ids == tuple(range(1, 16))
+
+    def test_d7_hub_finds_thirteen(self):
+        result = run_campaign("D7", Mode.FULL, duration=HOUR, seed=0)
+        assert set(result.matched_bug_ids) == set(range(1, 16)) - {6, 13}
+
+
+class TestCrossDeviceFingerprints:
+    """Table IV across the whole controller fleet."""
+
+    @pytest.mark.parametrize(
+        "device,known,unknown",
+        [
+            ("D1", 17, 28), ("D2", 17, 28), ("D3", 15, 30), ("D4", 17, 28),
+            ("D5", 15, 30), ("D6", 17, 28), ("D7", 15, 30),
+        ],
+    )
+    def test_known_unknown_counts(self, device, known, unknown):
+        from repro.core.discovery import discover_unknown_properties
+        from repro.core.fingerprint import fingerprint
+
+        sut = build_sut(device, seed=2)
+        props = fingerprint(sut.dongle, sut.clock)
+        props = discover_unknown_properties(sut.dongle, sut.clock, props)
+        assert (props.known_count, props.unknown_count) == (known, unknown)

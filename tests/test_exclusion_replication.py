@@ -1,0 +1,168 @@
+"""Tests for exclusion ceremonies, controller replication, and
+multi-network coexistence on one shared medium."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulatorError
+from repro.simulator.controller import VirtualController
+from repro.simulator.inclusion import (
+    ExclusionCeremony,
+    InclusionCeremony,
+    JoiningDevice,
+    replicate_to_secondary,
+)
+from repro.simulator.testbed import build_sut, supported_cmdcls
+from repro.zwave.constants import Region, TransportMode
+from repro.zwave.frame import ZWaveFrame
+from repro.zwave.nif import BasicDeviceClass, GenericDeviceClass, NodeInfo
+
+
+def sensor_device(name="sensor", seed=3):
+    return JoiningDevice(
+        name,
+        NodeInfo(
+            basic=BasicDeviceClass.SLAVE,
+            generic=GenericDeviceClass.SENSOR_BINARY,
+            listed_cmdcls=(0x20, 0x30, 0x86),
+        ),
+        rng=random.Random(seed),
+    )
+
+
+class TestExclusion:
+    @pytest.fixture
+    def joined(self):
+        sut = build_sut("D1", seed=31, traffic=False)
+        device = sensor_device()
+        sut.medium.attach("sensor", (5.0, 5.0), Region.US, lambda r: None)
+        InclusionCeremony(sut.controller, sut.medium, sut.clock).include(
+            device, "sensor", TransportMode.NO_SECURITY
+        )
+        return sut, device
+
+    def test_exclusion_removes_pairing(self, joined):
+        sut, device = joined
+        node_id = device.node_id
+        ceremony = ExclusionCeremony(sut.controller, sut.medium, sut.clock)
+        removed = ceremony.exclude(device, "sensor")
+        assert removed == node_id
+        assert node_id not in sut.controller.nvm
+        assert not device.included
+        assert device.network_key is None
+
+    def test_cannot_exclude_unjoined(self, joined):
+        sut, _ = joined
+        fresh = sensor_device("fresh", 9)
+        ceremony = ExclusionCeremony(sut.controller, sut.medium, sut.clock)
+        with pytest.raises(SimulatorError):
+            ceremony.exclude(fresh, "sensor")
+
+    def test_reinclusion_after_exclusion(self, joined):
+        sut, device = joined
+        ExclusionCeremony(sut.controller, sut.medium, sut.clock).exclude(
+            device, "sensor"
+        )
+        result = InclusionCeremony(sut.controller, sut.medium, sut.clock).include(
+            device, "sensor", TransportMode.NO_SECURITY
+        )
+        assert device.included
+        assert result.node_id in sut.controller.nvm
+
+
+class TestReplication:
+    def test_node_table_copied_to_secondary(self):
+        sut = build_sut("D1", seed=32, traffic=False)
+        secondary = VirtualController(
+            name="secondary",
+            home_id=sut.profile.home_id,
+            clock=sut.clock,
+            medium=sut.medium,
+            listed_cmdcls=sut.controller.listed_cmdcls,
+            supported_cmdcls=supported_cmdcls(),
+            position=(3.0, 3.0),
+            node_id=5,
+        )
+        count = replicate_to_secondary(
+            sut.controller, secondary, sut.medium, sut.clock
+        )
+        assert count == 2
+        assert secondary.nvm.node_ids() == sut.controller.nvm.node_ids()
+
+    def test_replication_frames_sniffable(self):
+        sut = build_sut("D1", seed=33, traffic=False)
+        secondary = VirtualController(
+            name="secondary",
+            home_id=sut.profile.home_id,
+            clock=sut.clock,
+            medium=sut.medium,
+            listed_cmdcls=sut.controller.listed_cmdcls,
+            supported_cmdcls=supported_cmdcls(),
+            position=(3.0, 3.0),
+            node_id=5,
+        )
+        sut.dongle.clear_captures()
+        replicate_to_secondary(sut.controller, secondary, sut.medium, sut.clock)
+        transfers = [
+            c.frame
+            for c in sut.dongle.captures()
+            if c.frame and c.frame.payload[:2] == b"\x01\x09"
+        ]
+        assert len(transfers) == 2
+
+
+class TestCoexistence:
+    """Two homes share the air; their networks must not bleed."""
+
+    def build_pair(self):
+        sut = build_sut("D1", seed=34, traffic=False)
+        neighbour = VirtualController(
+            name="neighbour-hub",
+            home_id=0x0BADCAFE,
+            clock=sut.clock,
+            medium=sut.medium,
+            listed_cmdcls=sut.controller.listed_cmdcls,
+            supported_cmdcls=supported_cmdcls(),
+            position=(12.0, 0.0),
+            node_id=1,
+        )
+        return sut, neighbour
+
+    def test_frames_filtered_by_home_id(self):
+        sut, neighbour = self.build_pair()
+        frame = ZWaveFrame(
+            home_id=sut.profile.home_id, src=0x0F, dst=1, payload=b"\x86\x11"
+        )
+        sut.dongle.inject(frame)
+        sut.clock.advance(0.2)
+        assert sut.controller.stats.apl_processed == 1
+        assert neighbour.stats.apl_processed == 0
+        # The neighbour hears the attack, the ACK and the reply — all
+        # rejected by its home-id filter.
+        assert neighbour.stats.rejected_home_id >= 1
+
+    def test_attack_on_one_home_spares_the_other(self):
+        sut, neighbour = self.build_pair()
+        neighbour.nvm.add(
+            __import__("repro.simulator.memory", fromlist=["NodeRecord"]).NodeRecord(
+                node_id=2, name="neighbour lock"
+            )
+        )
+        attack = ZWaveFrame(
+            home_id=sut.profile.home_id, src=0x0F, dst=1,
+            payload=bytes([0x01, 0x0D, 0x02, 0x03]),
+        )
+        sut.dongle.inject(attack)
+        sut.clock.advance(0.2)
+        assert 2 not in sut.controller.nvm  # victim's lock removed
+        assert 2 in neighbour.nvm  # neighbour untouched
+
+    def test_passive_scan_elects_the_busier_network(self):
+        from repro.core.fingerprint import PassiveScanner
+
+        sut, neighbour = self.build_pair()
+        # Only the victim network generates traffic.
+        sut.controller.start_polling([2, 3], interval=20.0)
+        result = PassiveScanner(sut.dongle, sut.clock).scan(120.0)
+        assert result.home_id == sut.profile.home_id

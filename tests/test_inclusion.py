@@ -1,0 +1,144 @@
+"""Tests for the inclusion ceremony and the S0 key-theft attack."""
+
+import random
+
+import pytest
+
+from repro.errors import AuthenticationError, SimulatorError
+from repro.simulator.inclusion import (
+    InclusionCeremony,
+    JoiningDevice,
+    KEY_S0,
+    steal_s0_key_from_captures,
+)
+from repro.simulator.testbed import build_sut
+from repro.zwave.constants import Region, TransportMode
+from repro.zwave.nif import BasicDeviceClass, GenericDeviceClass, NodeInfo
+
+
+def sensor_info():
+    return NodeInfo(
+        basic=BasicDeviceClass.SLAVE,
+        generic=GenericDeviceClass.SENSOR_BINARY,
+        listed_cmdcls=(0x20, 0x30, 0x80, 0x86),
+    )
+
+
+@pytest.fixture
+def setting():
+    sut = build_sut("D1", seed=21, traffic=False)
+    device = JoiningDevice("motion sensor", sensor_info(), rng=random.Random(5))
+    sut.medium.attach("sensor", (4.0, 4.0), Region.US, lambda r: None)
+    ceremony = InclusionCeremony(
+        sut.controller, sut.medium, sut.clock, random.Random(6)
+    )
+    return sut, device, ceremony
+
+
+class TestS2Inclusion:
+    def test_device_joins_with_next_free_id(self, setting):
+        sut, device, ceremony = setting
+        result = ceremony.include(device, "sensor", TransportMode.S2)
+        assert result.node_id == 4  # 1=controller, 2=lock, 3=switch
+        assert device.included
+        assert device.home_id == sut.profile.home_id
+
+    def test_network_key_transferred_confidentially(self, setting):
+        sut, device, ceremony = setting
+        ceremony.include(device, "sensor", TransportMode.S2)
+        assert device.network_key is not None
+        assert len(device.network_key) == 16
+        # The key itself never appears in plaintext in any sniffed frame.
+        for capture in sut.dongle.captures():
+            assert device.network_key not in capture.raw
+
+    def test_public_keys_visible_to_sniffer(self, setting):
+        sut, device, ceremony = setting
+        ceremony.include(device, "sensor", TransportMode.S2)
+        sniffed = b"".join(c.raw for c in sut.dongle.captures())
+        assert device.bootstrap.public in sniffed  # ECDH points are public
+
+    def test_controller_records_secure_pairing(self, setting):
+        sut, device, ceremony = setting
+        result = ceremony.include(device, "sensor", TransportMode.S2)
+        record = sut.controller.nvm.get(result.node_id)
+        assert record.secure
+        assert record.granted_keys == device.requested_keys
+        assert record.name == "motion sensor"
+
+    def test_correct_pin_accepted(self, setting):
+        sut, device, ceremony = setting
+        result = ceremony.include(
+            device, "sensor", TransportMode.S2, user_pin=device.dsk_pin
+        )
+        assert result.granted_keys != 0
+
+    def test_wrong_pin_aborts(self, setting):
+        sut, device, ceremony = setting
+        with pytest.raises(AuthenticationError):
+            ceremony.include(
+                device, "sensor", TransportMode.S2,
+                user_pin=(device.dsk_pin + 1) % 65536,
+            )
+        assert not device.included
+        assert 4 not in sut.controller.nvm
+
+    def test_transcript_and_frame_count(self, setting):
+        sut, device, ceremony = setting
+        result = ceremony.include(device, "sensor", TransportMode.S2)
+        assert result.frames_exchanged >= 9
+        assert any("KEX_SET" in line for line in result.transcript)
+        assert any("DSK pin" in line for line in result.transcript)
+
+    def test_double_inclusion_rejected(self, setting):
+        sut, device, ceremony = setting
+        ceremony.include(device, "sensor", TransportMode.S2)
+        with pytest.raises(SimulatorError):
+            ceremony.include(device, "sensor", TransportMode.S2)
+
+
+class TestS0Inclusion:
+    def test_legacy_device_gets_s0_key(self, setting):
+        sut, device, ceremony = setting
+        result = ceremony.include(device, "sensor", TransportMode.S0)
+        assert result.granted_keys == KEY_S0
+        assert device.network_key is not None
+
+    def test_sniffer_steals_the_s0_network_key(self, setting):
+        """The Fouladi & Ghanoun weakness, reproduced end-to-end."""
+        sut, device, ceremony = setting
+        sut.dongle.clear_captures()
+        ceremony.include(device, "sensor", TransportMode.S0)
+        stolen = steal_s0_key_from_captures(sut.dongle.captures())
+        assert stolen == device.network_key
+
+    def test_s2_inclusion_resists_the_same_attack(self, setting):
+        sut, device, ceremony = setting
+        sut.dongle.clear_captures()
+        ceremony.include(device, "sensor", TransportMode.S2)
+        assert steal_s0_key_from_captures(sut.dongle.captures()) is None
+
+
+class TestNoSecurityInclusion:
+    def test_legacy_pairing(self, setting):
+        sut, device, ceremony = setting
+        result = ceremony.include(device, "sensor", TransportMode.NO_SECURITY)
+        assert result.granted_keys == 0
+        record = sut.controller.nvm.get(result.node_id)
+        assert not record.secure
+
+
+class TestNetworkCapacity:
+    def test_node_ids_exhaust(self):
+        sut = build_sut("D1", seed=1, traffic=False)
+        for node_id in range(4, 233):
+            sut.controller.nvm.raw_write(
+                __import__("repro.simulator.memory", fromlist=["NodeRecord"]).NodeRecord(
+                    node_id=node_id
+                )
+            )
+        device = JoiningDevice("one too many", sensor_info())
+        sut.medium.attach("sensor", (1.0, 1.0), Region.US, lambda r: None)
+        ceremony = InclusionCeremony(sut.controller, sut.medium, sut.clock)
+        with pytest.raises(SimulatorError):
+            ceremony.include(device, "sensor", TransportMode.NO_SECURITY)

@@ -1,0 +1,117 @@
+"""Tests for the firmware-update (OTA) flow over command class 0x7A."""
+
+import pytest
+
+from repro.simulator.ota import (
+    FirmwareImage,
+    FirmwareSender,
+    OtaCapableSensor,
+    STATUS_BAD_CHECKSUM,
+    STATUS_OK,
+)
+from repro.simulator.testbed import build_sut
+from repro.zwave.checksum import crc16
+from repro.zwave.frame import ZWaveFrame
+
+SENSOR_ID = 8
+
+
+@pytest.fixture
+def setting():
+    sut = build_sut("D1", seed=40, traffic=False)
+    sensor = OtaCapableSensor(
+        "ota-sensor",
+        sut.profile.home_id,
+        SENSOR_ID,
+        sut.clock,
+        sut.medium,
+        position=(4.0, 2.0),
+        firmware_version=1,
+    )
+    from repro.simulator.memory import NodeRecord
+
+    sut.controller.nvm.add(NodeRecord(node_id=SENSOR_ID, generic=0x20, name="ota"))
+    image = FirmwareImage(version=2, data=bytes(range(256)) * 2)  # 512 B
+    sender = FirmwareSender(sut.controller, image)
+    return sut, sensor, sender, image
+
+
+class TestFirmwareImage:
+    def test_fragmentation(self):
+        image = FirmwareImage(2, bytes(45))
+        assert image.fragment_count == 3
+        assert len(image.fragment(1)) == 20
+        assert len(image.fragment(3)) == 5
+
+    def test_single_fragment_minimum(self):
+        assert FirmwareImage(2, b"").fragment_count == 1
+
+    def test_checksum_is_crc16(self):
+        image = FirmwareImage(2, b"firmware blob")
+        assert image.checksum == crc16(b"firmware blob")
+
+
+class TestOtaFlow:
+    def test_successful_update_bumps_version(self, setting):
+        sut, sensor, sender, image = setting
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert sensor.update_status == STATUS_OK
+        assert sensor.firmware_version == 2
+        assert sender.completed.get(SENSOR_ID) == STATUS_OK
+        assert sender.fragments_sent == image.fragment_count
+
+    def test_fragments_cross_the_air(self, setting):
+        sut, sensor, sender, image = setting
+        sut.dongle.clear_captures()
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        fragments = [
+            c.frame
+            for c in sut.dongle.captures()
+            if c.frame and c.frame.payload[:2] == bytes([0x7A, 0x06])
+        ]
+        assert len(fragments) == image.fragment_count
+
+    def test_md_get_reports_current_version(self, setting):
+        sut, sensor, sender, image = setting
+        sut.dongle.clear_captures()
+        sut.controller.send_command(SENSOR_ID, __import__(
+            "repro.zwave.application", fromlist=["ApplicationPayload"]
+        ).ApplicationPayload(0x7A, 0x01, b""))
+        sut.clock.advance(0.5)
+        reports = [
+            c.frame.payload
+            for c in sut.dongle.captures()
+            if c.frame and c.frame.src == SENSOR_ID and c.frame.payload[:2] == b"\x7a\x02"
+        ]
+        assert reports and reports[0][4] == 1  # version byte
+
+    def test_corrupted_offer_checksum_rejected(self, setting):
+        sut, sensor, sender, image = setting
+        from repro.zwave.application import ApplicationPayload
+
+        bad_offer = bytes([0x00, 0x01, 0xDE, 0xAD, image.fragment_count])
+        sut.controller.send_command(
+            SENSOR_ID, ApplicationPayload(0x7A, 0x03, bad_offer)
+        )
+        sut.clock.advance(5.0)
+        assert sensor.update_status == STATUS_BAD_CHECKSUM
+        assert sensor.firmware_version == 1  # rollback: old image keeps running
+
+    def test_ota_flow_never_triggers_the_0x7a_bugs(self, setting):
+        """The legitimate flow coexists with the vulnerable handlers."""
+        sut, sensor, sender, image = setting
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert not sut.controller.hung
+        assert [e for e in sut.controller.events() if e.bug_id] == []
+
+    def test_second_update_cycle(self, setting):
+        sut, sensor, sender, image = setting
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert sensor.firmware_version == 2
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert sensor.firmware_version == 3

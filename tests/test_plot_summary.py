@@ -1,0 +1,75 @@
+"""Tests for SVG figure rendering and the campaign summary report."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.plot import figure5_svg, figure12_svg, save_svg
+from repro.analysis.summary import campaign_report
+from repro.core.campaign import Mode, run_campaign
+from repro.zwave.registry import load_full_registry
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign("D1", Mode.FULL, duration=600.0, seed=0)
+
+
+class TestFigure5Svg:
+    def test_well_formed_xml(self, full_registry):
+        svg = figure5_svg(full_registry)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_sixteen_bars(self, full_registry):
+        svg = figure5_svg(full_registry)
+        assert svg.count("<rect") == 16 + 1  # bars + background
+
+    def test_labels_present(self, full_registry):
+        svg = figure5_svg(full_registry)
+        assert "NETWORK_MANAGEMENT_INCLUSION" in svg
+        assert ">23<" in svg  # the tallest bar's value label
+
+
+class TestFigure12Svg:
+    def test_well_formed_xml(self, campaign):
+        root = ET.fromstring(figure12_svg(campaign))
+        assert root.tag.endswith("svg")
+
+    def test_polyline_and_crosses(self, campaign):
+        svg = figure12_svg(campaign)
+        assert "<polyline" in svg
+        assert svg.count("#cc3311") >= 2  # at least one red cross
+
+    def test_bug_labels_rendered(self, campaign):
+        svg = figure12_svg(campaign)
+        assert "#05" in svg  # the first discovery on D1
+
+    def test_save_svg(self, campaign, tmp_path):
+        path = save_svg(figure12_svg(campaign), tmp_path / "fig12.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestCampaignReport:
+    def test_report_sections(self, campaign):
+        report = campaign_report(campaign)
+        assert "# ZCover campaign report — D1 (ZooZ" in report
+        assert "## Target fingerprint" in report
+        assert "## Verified findings" in report
+        assert "## Discovery timeline" in report
+
+    def test_fingerprint_content(self, campaign):
+        report = campaign_report(campaign)
+        assert "`E7DE3F3D`" in report
+        assert "hidden command classes discovered: 28" in report
+
+    def test_findings_table(self, campaign):
+        report = campaign_report(campaign)
+        assert "CVE-2024-50929" in report
+        assert "| 05 | 0x01 |" in report
+
+    def test_empty_findings(self):
+        result = run_campaign("D1", Mode.FULL, duration=30.0, seed=0)
+        report = campaign_report(result)
+        assert "No vulnerabilities confirmed." in report or "| 0x" in report

@@ -1,0 +1,139 @@
+"""Property-based invariants across the stack.
+
+These tests throw arbitrary inputs at the parsers, the devices and the
+framework components and assert structural invariants: codecs never crash
+on lenient input, the mutator respects its position contract, and the
+receive paths of every simulated component are total functions.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.mutation import PositionSensitiveMutator, RandomMutator
+from repro.errors import FrameError, RadioError, ReproError
+from repro.radio.signal import decode_phy
+from repro.simulator.testbed import build_sut
+from repro.simulator.transport import S2Messaging
+from repro.zwave.application import ApplicationPayload
+from repro.zwave.frame import ZWaveFrame
+from repro.zwave.registry import load_full_registry
+
+REGISTRY = load_full_registry()
+
+
+class TestParserTotality:
+    """Parsers must reject, never crash."""
+
+    @given(st.binary(min_size=10, max_size=64))
+    @settings(max_examples=200)
+    def test_lenient_frame_decode_never_crashes(self, raw):
+        frame = ZWaveFrame.decode(raw, verify=False)
+        assert 0 <= frame.src <= 255
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=200)
+    def test_strict_frame_decode_raises_only_frame_errors(self, raw):
+        try:
+            ZWaveFrame.decode(raw, verify=True)
+        except FrameError:
+            pass
+
+    @given(st.binary(min_size=1, max_size=54))
+    @settings(max_examples=200)
+    def test_apl_decode_total(self, raw):
+        payload = ApplicationPayload.decode(raw)
+        assert payload.encode() == raw or payload.cmd is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=8, max_size=400))
+    @settings(max_examples=100)
+    def test_phy_decode_raises_only_radio_errors(self, bits):
+        try:
+            decode_phy(bits, 100.0)
+        except RadioError:
+            pass
+
+
+class TestMutatorContract:
+    """Position-sensitive mutation never leaves its lane."""
+
+    @given(
+        cmdcl=st.sampled_from([0x01, 0x20, 0x34, 0x59, 0x5A, 0x73, 0x7A, 0x86, 0x9F]),
+        count=st.integers(min_value=1, max_value=150),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_stays_on_its_class(self, cmdcl, count, seed):
+        import itertools
+
+        mutator = PositionSensitiveMutator(REGISTRY, random.Random(seed))
+        for case in itertools.islice(mutator.generate(cmdcl), count):
+            assert case.payload.cmdcl == cmdcl
+            assert len(case.payload) <= 54  # APL maximum
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_random_mutator_payloads_encodable(self, seed):
+        import itertools
+
+        for case in itertools.islice(RandomMutator(random.Random(seed)).generate(), 100):
+            raw = case.encode()
+            assert 2 <= len(raw) <= 6
+
+
+class TestDeviceTotality:
+    """Devices survive arbitrary bytes on the air (failure injection)."""
+
+    @given(payloads=st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=10))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_controller_survives_garbage_frames(self, payloads):
+        sut = build_sut("D1", seed=99, traffic=False)
+        for payload in payloads:
+            frame = ZWaveFrame(
+                home_id=sut.profile.home_id, src=0x0F, dst=1, payload=payload
+            )
+            sut.dongle.inject(frame)
+            sut.clock.advance(0.05)
+        # The controller may be hung or tampered but never corrupted
+        # structurally: its table still snapshots and its clock advances.
+        sut.controller.nvm.snapshot()
+        sut.clock.advance(1.0)
+
+    @given(raw=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_controller_survives_raw_noise(self, raw):
+        sut = build_sut("D2", seed=98, traffic=False)  # D2 has MAC quirks
+        sut.dongle.inject_raw(raw)
+        sut.clock.advance(0.05)
+
+    @given(
+        cmdcl=st.integers(min_value=0, max_value=255),
+        cmd=st.integers(min_value=0, max_value=255),
+        params=st.binary(max_size=30),
+    )
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_s2_messaging_handle_total(self, cmdcl, cmd, params):
+        sut = build_sut("D1", seed=97, traffic=False)
+        payload = ApplicationPayload(cmdcl, cmd, params)
+        consumed = sut.controller.s2_messaging.handle(0x0F, payload)
+        assert isinstance(consumed, bool)
+
+
+class TestIdsTotality:
+    @given(
+        src=st.integers(min_value=0, max_value=255),
+        dst=st.integers(min_value=0, max_value=255),
+        payload=st.binary(max_size=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_inspect_total(self, src, dst, payload):
+        from repro.analysis.ids import ZWaveIDS
+
+        ids = ZWaveIDS(0xE7DE3F3D)
+        ids.train(
+            [(0.0, ZWaveFrame(home_id=0xE7DE3F3D, src=2, dst=1, payload=b"\x20\x02"))]
+        )
+        frame = ZWaveFrame(home_id=0xE7DE3F3D, src=src, dst=dst, payload=payload)
+        alerts = ids.inspect(1.0, frame)
+        assert isinstance(alerts, list)

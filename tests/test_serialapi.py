@@ -1,0 +1,165 @@
+"""Tests for the Serial API substrate (host <-> USB-stick interface)."""
+
+import pytest
+
+from repro.errors import SimulatorError
+from repro.simulator.serialapi import (
+    ACK,
+    FUNC_GET_INIT_DATA,
+    FUNC_GET_VERSION,
+    NAK,
+    SerialFrame,
+    SerialLink,
+    SOF,
+    TYPE_REQUEST,
+    TYPE_RESPONSE,
+    _split_stream,
+    attach_pc_controller,
+)
+from repro.simulator.testbed import LOCK_NODE_ID, SWITCH_NODE_ID, build_sut
+from repro.zwave.frame import ZWaveFrame
+
+
+@pytest.fixture
+def pc(quiet_sut):
+    return attach_pc_controller(quiet_sut.controller)
+
+
+class TestSerialFrame:
+    def test_encode_layout(self):
+        raw = SerialFrame(TYPE_REQUEST, FUNC_GET_VERSION).encode()
+        assert raw[0] == SOF
+        assert raw[1] == 3  # LEN: type + func + checksum
+        assert raw[2] == TYPE_REQUEST
+        assert raw[3] == FUNC_GET_VERSION
+
+    def test_roundtrip(self):
+        frame = SerialFrame(TYPE_RESPONSE, 0x13, b"\x01\x02\x03")
+        assert SerialFrame.decode(frame.encode()) == frame
+
+    def test_checksum_rejected(self):
+        raw = bytearray(SerialFrame(TYPE_REQUEST, 0x02).encode())
+        raw[-1] ^= 0x01
+        with pytest.raises(SimulatorError):
+            SerialFrame.decode(bytes(raw))
+
+    def test_length_mismatch_rejected(self):
+        raw = bytearray(SerialFrame(TYPE_REQUEST, 0x02).encode())
+        raw[1] = 9
+        with pytest.raises(SimulatorError):
+            SerialFrame.decode(bytes(raw))
+
+    def test_bad_sof_rejected(self):
+        with pytest.raises(SimulatorError):
+            SerialFrame.decode(b"\x02\x03\x00\x02\xfe")
+
+
+class TestStreamSplitting:
+    def test_mixed_stream(self):
+        frame = SerialFrame(TYPE_REQUEST, 0x02).encode()
+        stream = bytes([ACK]) + frame + bytes([NAK]) + frame
+        frames, controls = _split_stream(stream)
+        assert len(frames) == 2
+        assert controls == [ACK, NAK]
+
+    def test_garbage_resync(self):
+        frame = SerialFrame(TYPE_REQUEST, 0x02).encode()
+        frames, _ = _split_stream(b"\xde\xad" + frame)
+        assert len(frames) == 1
+
+    def test_truncated_frame_ignored(self):
+        frame = SerialFrame(TYPE_REQUEST, 0x02).encode()
+        frames, _ = _split_stream(frame[:-2])
+        assert frames == []
+
+
+class TestSerialLink:
+    def test_duplex_queues(self):
+        link = SerialLink()
+        link.host_write(b"abc")
+        assert link.chip_read_all() == b"abc"
+        link.chip_write(b"xyz")
+        assert link.host_read_all() == b"xyz"
+        assert link.host_read_all() == b""
+
+
+class TestPCControllerClient:
+    def test_get_version(self, pc):
+        assert pc.get_version().startswith("Z-Wave")
+
+    def test_memory_get_id_matches_network(self, quiet_sut, pc):
+        home_id, node_id = pc.memory_get_id()
+        assert home_id == quiet_sut.profile.home_id
+        assert node_id == quiet_sut.controller.node_id
+
+    def test_node_list_shows_paired_devices(self, pc):
+        assert pc.node_list() == [1, LOCK_NODE_ID, SWITCH_NODE_ID]
+
+    def test_node_protocol_info(self, pc):
+        info = pc.node_protocol_info(LOCK_NODE_ID)
+        assert info["generic"] == 0x40  # entry control
+        assert info["security"] != 0
+        assert pc.node_protocol_info(99)["basic"] == 0
+
+    def test_send_data_reaches_the_switch(self, quiet_sut, pc):
+        assert pc.send_data(SWITCH_NODE_ID, bytes([0x25, 0x01, 0xFF]))
+        quiet_sut.clock.advance(0.2)
+        assert quiet_sut.switch.on
+
+    def test_send_data_to_empty_payload_fails(self, pc):
+        assert not pc.send_data(SWITCH_NODE_ID, b"")
+
+    def test_application_command_events(self, quiet_sut, pc):
+        quiet_sut.switch.send_report()
+        quiet_sut.clock.advance(0.2)
+        events = pc.poll_events()
+        assert any(src == SWITCH_NODE_ID and apl[0] == 0x25 for src, apl in events)
+
+    def test_soft_reset_clears_hang(self, quiet_sut, pc):
+        frame = ZWaveFrame(
+            home_id=quiet_sut.profile.home_id, src=0x0F, dst=1,
+            payload=bytes([0x5A, 0x01]),
+        )
+        quiet_sut.dongle.inject(frame)
+        quiet_sut.clock.advance(0.1)
+        assert quiet_sut.controller.hung
+        pc.soft_reset()
+        assert not quiet_sut.controller.hung
+
+    def test_unknown_function_gets_empty_response(self, quiet_sut, pc):
+        assert pc._transact(0x77).data == b""
+
+
+class TestFigure8To11ThroughTheHostUi:
+    """The paper's screenshots are this interface's output."""
+
+    def test_memory_tampering_visible_in_node_list(self, quiet_sut, pc):
+        assert pc.node_list() == [1, 2, 3]
+        attack = ZWaveFrame(
+            home_id=quiet_sut.profile.home_id, src=0x0F, dst=1,
+            payload=bytes([0x01, 0x0D, LOCK_NODE_ID, 0x03]),  # Fig 10
+        )
+        quiet_sut.dongle.inject(attack)
+        quiet_sut.clock.advance(0.1)
+        assert pc.node_list() == [1, 3]  # the lock vanished from the UI
+
+    def test_rogue_insertion_visible(self, quiet_sut, pc):
+        attack = ZWaveFrame(
+            home_id=quiet_sut.profile.home_id, src=0x0F, dst=1,
+            payload=bytes([0x01, 0x0D, 200, 0x02]),  # Fig 9
+        )
+        quiet_sut.dongle.inject(attack)
+        quiet_sut.clock.advance(0.1)
+        assert 200 in pc.node_list()
+        assert pc.node_protocol_info(200)["basic"] == 0x02  # rogue controller
+
+    def test_degraded_lock_class_visible(self, quiet_sut, pc):
+        attack = ZWaveFrame(
+            home_id=quiet_sut.profile.home_id, src=0x0F, dst=1,
+            payload=bytes([0x01, 0x0D, LOCK_NODE_ID, 0x01, 0x00, 0x10]),  # Fig 8
+        )
+        quiet_sut.dongle.inject(attack)
+        quiet_sut.clock.advance(0.1)
+        info = pc.node_protocol_info(LOCK_NODE_ID)
+        assert info["basic"] == 0x04  # shown as routing slave
+        assert info["security"] == 0  # S2 grant wiped

@@ -1,0 +1,101 @@
+"""Tests for SmartStart provisioning and campaign JSON export."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.campaign import Mode, run_campaign
+from repro.simulator.inclusion import (
+    InclusionCeremony,
+    JoiningDevice,
+    SmartStartList,
+)
+from repro.simulator.testbed import build_sut
+from repro.zwave.constants import Region, TransportMode
+from repro.zwave.nif import BasicDeviceClass, GenericDeviceClass, NodeInfo
+
+
+def fresh_device(name, seed):
+    return JoiningDevice(
+        name,
+        NodeInfo(
+            basic=BasicDeviceClass.SLAVE,
+            generic=GenericDeviceClass.SENSOR_BINARY,
+            listed_cmdcls=(0x20, 0x30, 0x86),
+        ),
+        rng=random.Random(seed),
+    )
+
+
+@pytest.fixture
+def smartstart():
+    sut = build_sut("D1", seed=50, traffic=False)
+    sut.medium.attach("sensor", (4.0, 4.0), Region.US, lambda r: None)
+    ceremony = InclusionCeremony(sut.controller, sut.medium, sut.clock, random.Random(51))
+    return sut, SmartStartList(ceremony)
+
+
+class TestSmartStart:
+    def test_provisioned_device_joins_automatically(self, smartstart):
+        sut, provisioning = smartstart
+        device = fresh_device("porch sensor", 1)
+        provisioning.provision(device.dsk_pin, "porch sensor QR")
+        result = provisioning.announce(device, "sensor")
+        assert result is not None
+        assert device.included
+        assert result.transport is TransportMode.S2
+        assert result.granted_keys != 0
+
+    def test_unknown_device_ignored(self, smartstart):
+        sut, provisioning = smartstart
+        rogue = fresh_device("rogue", 2)
+        assert provisioning.announce(rogue, "sensor") is None
+        assert not rogue.included
+        assert provisioning.ignored_announcements == 1
+        assert len(sut.controller.nvm) == 2  # only the original pairings
+
+    def test_provisioning_entry_single_use(self, smartstart):
+        sut, provisioning = smartstart
+        device = fresh_device("sensor", 3)
+        provisioning.provision(device.dsk_pin)
+        assert provisioning.announce(device, "sensor") is not None
+        assert provisioning.provisioned_count == 0
+        clone = fresh_device("clone", 3)  # same RNG seed -> same DSK
+        clone.rng = random.Random(3)
+        assert provisioning.announce(clone, "sensor") is None
+
+    def test_is_provisioned(self, smartstart):
+        _, provisioning = smartstart
+        provisioning.provision(12345)
+        assert provisioning.is_provisioned(12345)
+        assert not provisioning.is_provisioned(54321)
+
+
+class TestCampaignExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign("D1", Mode.FULL, duration=600.0, seed=0)
+
+    def test_round_trips_through_json(self, result):
+        blob = json.dumps(result.to_dict())
+        data = json.loads(blob)
+        assert data["device"] == "D1"
+        assert data["mode"] == "FULL"
+
+    def test_summary_fields(self, result):
+        data = result.to_dict()
+        assert data["packets_sent"] == result.fuzz.packets_sent
+        assert data["unique_vulnerabilities"] == result.unique_vulnerabilities
+        assert data["fingerprint"]["home_id"] == "E7DE3F3D"
+        assert data["fingerprint"]["unknown_cmdcls"] == 28
+
+    def test_findings_sorted_and_complete(self, result):
+        findings = result.to_dict()["findings"]
+        assert len(findings) == result.unique_vulnerabilities
+        times = [f["first_detection_time"] for f in findings]
+        assert times == sorted(times)
+        first = findings[0]
+        assert first["bug_id"] == 5
+        assert first["cve"] == "CVE-2024-50921"
+        assert first["cmdcl"] == 0x01

@@ -1,0 +1,84 @@
+"""Tests for the controller's stateful ASSOCIATION/CONFIGURATION handlers."""
+
+import pytest
+
+from repro.zwave.frame import ZWaveFrame
+
+
+def inject(sut, payload, src=0x0F):
+    frame = ZWaveFrame(
+        home_id=sut.profile.home_id, src=src, dst=1, payload=bytes(payload)
+    )
+    sut.dongle.clear_captures()
+    sut.dongle.inject(frame)
+    sut.clock.advance(0.2)
+    return [
+        c.frame.payload
+        for c in sut.dongle.captures()
+        if c.frame and not c.frame.is_ack and c.frame.payload and c.frame.src == 1
+    ]
+
+
+class TestAssociation:
+    def test_set_adds_member(self, quiet_sut):
+        inject(quiet_sut, [0x85, 0x01, 0x01, 0x02])
+        assert quiet_sut.controller.associations[1] == [2]
+
+    def test_set_rejects_bad_group_and_node(self, quiet_sut):
+        inject(quiet_sut, [0x85, 0x01, 0x09, 0x02])  # group 9 > max
+        inject(quiet_sut, [0x85, 0x01, 0x01, 0x00])  # node 0 invalid
+        assert quiet_sut.controller.associations.get(9) is None
+        assert quiet_sut.controller.associations[1] == []
+
+    def test_set_deduplicates(self, quiet_sut):
+        for _ in range(3):
+            inject(quiet_sut, [0x85, 0x01, 0x01, 0x02])
+        assert quiet_sut.controller.associations[1] == [2]
+
+    def test_group_capacity_bounded(self, quiet_sut):
+        for member in range(2, 20):
+            inject(quiet_sut, [0x85, 0x01, 0x01, member])
+        assert len(quiet_sut.controller.associations[1]) == 8
+
+    def test_get_reports_members(self, quiet_sut):
+        inject(quiet_sut, [0x85, 0x01, 0x01, 0x02])
+        inject(quiet_sut, [0x85, 0x01, 0x01, 0x03])
+        replies = inject(quiet_sut, [0x85, 0x02, 0x01])
+        report = next(p for p in replies if p[0] == 0x85 and p[1] == 0x03)
+        assert report[2] == 0x01  # group
+        assert list(report[5:]) == [2, 3]
+
+    def test_remove_member(self, quiet_sut):
+        inject(quiet_sut, [0x85, 0x01, 0x01, 0x02])
+        inject(quiet_sut, [0x85, 0x04, 0x01, 0x02])
+        assert quiet_sut.controller.associations[1] == []
+
+    def test_groupings_get(self, quiet_sut):
+        replies = inject(quiet_sut, [0x85, 0x05])
+        assert any(p[0] == 0x85 and p[1] == 0x06 for p in replies)
+
+
+class TestConfiguration:
+    def test_set_and_get_roundtrip(self, quiet_sut):
+        inject(quiet_sut, [0x70, 0x04, 0x07, 0x01, 0x2A])
+        assert quiet_sut.controller.config_params[7] == 0x2A
+        replies = inject(quiet_sut, [0x70, 0x05, 0x07])
+        report = next(p for p in replies if p[0] == 0x70 and p[1] == 0x06)
+        assert report[2] == 0x07 and report[4] == 0x2A
+
+    def test_multibyte_value(self, quiet_sut):
+        inject(quiet_sut, [0x70, 0x04, 0x08, 0x02, 0x12, 0x34])
+        assert quiet_sut.controller.config_params[8] == 0x1234
+
+    def test_invalid_size_ignored(self, quiet_sut):
+        inject(quiet_sut, [0x70, 0x04, 0x09, 0x03, 0x01, 0x02, 0x03])
+        assert 9 not in quiet_sut.controller.config_params
+
+    def test_truncated_value_ignored(self, quiet_sut):
+        inject(quiet_sut, [0x70, 0x04, 0x0A, 0x04, 0x01])
+        assert 0x0A not in quiet_sut.controller.config_params
+
+    def test_unset_parameter_reports_zero(self, quiet_sut):
+        replies = inject(quiet_sut, [0x70, 0x05, 0x55])
+        report = next(p for p in replies if p[0] == 0x70 and p[1] == 0x06)
+        assert report[4] == 0x00

@@ -1,0 +1,124 @@
+"""Tests for trace capture persistence and dissection."""
+
+import pytest
+
+from repro.radio.trace import (
+    TraceRecord,
+    dissect,
+    dissect_trace,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture
+def captures(sut):
+    sut.dongle.clear_captures()
+    sut.clock.advance(120.0)
+    return sut.dongle.captures()
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, captures, tmp_path):
+        path = tmp_path / "capture.jsonl"
+        count = save_trace(captures, path)
+        assert count == len(captures) > 0
+        records = load_trace(path)
+        assert len(records) == count
+        assert records[0].raw == captures[0].raw
+        assert records[0].timestamp == captures[0].timestamp
+
+    def test_record_from_capture(self, captures):
+        record = TraceRecord.from_capture(captures[0])
+        assert record.frame is not None
+        assert record.raw_hex == captures[0].raw.hex()
+
+    def test_load_skips_blank_lines(self, captures, tmp_path):
+        path = tmp_path / "capture.jsonl"
+        save_trace(captures[:2], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_trace(path)) == 2
+
+
+class TestDissection:
+    def test_data_frame_line(self, full_registry):
+        record = TraceRecord(
+            timestamp=1.5,
+            rssi_dbm=-70.0,
+            raw_hex="e7de3f3d020141000d01200201" + "00",
+        )
+        # Build a real frame instead of hand-rolling hex.
+        from repro.zwave.frame import ZWaveFrame
+
+        frame = ZWaveFrame(home_id=0xE7DE3F3D, src=2, dst=1, payload=b"\x20\x02")
+        record = TraceRecord(1.5, -70.0, frame.encode().hex())
+        line = dissect(record, full_registry)
+        assert "E7DE3F3D" in line
+        assert "BASIC.BASIC_GET" in line
+        assert "2 ->   1" in line
+
+    def test_ack_line(self, full_registry):
+        from repro.zwave.frame import ZWaveFrame
+
+        ack = ZWaveFrame(home_id=0xE7DE3F3D, src=2, dst=1, payload=b"\x20\x02").ack()
+        line = dissect(TraceRecord(0.0, -60.0, ack.encode().hex()), full_registry)
+        assert line.endswith("ACK")
+
+    def test_nop_line(self, full_registry):
+        from repro.zwave.frame import make_nop
+
+        nop = make_nop(0xE7DE3F3D, 15, 1)
+        line = dissect(TraceRecord(0.0, -60.0, nop.encode().hex()), full_registry)
+        assert "NOP" in line
+
+    def test_undecodable_line(self, full_registry):
+        line = dissect(TraceRecord(0.0, -60.0, "deadbeef"), full_registry)
+        assert "undecodable" in line
+
+    def test_unknown_command_shows_hex(self, full_registry):
+        from repro.zwave.frame import ZWaveFrame
+
+        frame = ZWaveFrame(home_id=0xE7DE3F3D, src=2, dst=1, payload=b"\x20\x99\x01")
+        line = dissect(TraceRecord(0.0, -60.0, frame.encode().hex()), full_registry)
+        assert "BASIC.0x99" in line
+
+    def test_class_probe_line(self, full_registry):
+        from repro.zwave.frame import ZWaveFrame
+
+        frame = ZWaveFrame(home_id=0xE7DE3F3D, src=15, dst=1, payload=b"\x85")
+        line = dissect(TraceRecord(0.0, -60.0, frame.encode().hex()), full_registry)
+        assert "class probe" in line
+
+    def test_full_trace_transcript(self, captures, full_registry):
+        records = [TraceRecord.from_capture(c) for c in captures[:10]]
+        transcript = dissect_trace(records, full_registry)
+        assert len(transcript.splitlines()) == len(records)
+
+    def test_attack_payload_dissected(self, full_registry):
+        from repro.zwave.frame import ZWaveFrame
+
+        attack = ZWaveFrame(
+            home_id=0xE7DE3F3D, src=15, dst=1, payload=bytes([0x01, 0x0D, 0x02, 0x03])
+        )
+        line = dissect(TraceRecord(0.0, -60.0, attack.encode().hex()), full_registry)
+        assert "ZWAVE_PROTOCOL.PROTOCOL_NVM_NODE_WRITE" in line
+
+    def test_named_parameters(self, full_registry):
+        from repro.zwave.frame import ZWaveFrame
+
+        attack = ZWaveFrame(
+            home_id=0xE7DE3F3D, src=15, dst=1, payload=bytes([0x01, 0x0D, 0x02, 0x03])
+        )
+        line = dissect(TraceRecord(0.0, -60.0, attack.encode().hex()), full_registry)
+        assert "node_id=0x02" in line
+        assert "operation=0x03" in line
+
+    def test_trailing_unnamed_bytes_fall_back_to_hex(self, full_registry):
+        from repro.zwave.frame import ZWaveFrame
+
+        frame = ZWaveFrame(
+            home_id=0xE7DE3F3D, src=2, dst=1, payload=bytes([0x20, 0x01, 0xFF, 0x42])
+        )
+        line = dissect(TraceRecord(0.0, -60.0, frame.encode().hex()), full_registry)
+        assert "value=0xFF" in line
+        assert "0x42" in line

@@ -1,0 +1,61 @@
+"""Tests for multi-trial orchestration and aggregation."""
+
+import pytest
+
+from repro.core.campaign import Mode
+from repro.core.trials import TrialSummary, run_trials
+
+
+@pytest.fixture(scope="module")
+def three_trials():
+    # Three 20-minute trials keep the test fast while exercising the
+    # aggregation across distinct seeds.
+    return run_trials("D1", Mode.FULL, n_trials=3, duration=1200.0, base_seed=0)
+
+
+class TestRunTrials:
+    def test_runs_requested_trials(self, three_trials):
+        assert three_trials.n_trials == 3
+
+    def test_seeds_differ_across_trials(self, three_trials):
+        packet_counts = {t.fuzz.packets_sent for t in three_trials.trials}
+        bug_logs = {
+            tuple(r.payload_hex for r in t.fuzz.bug_log) for t in three_trials.trials
+        }
+        # Different seeds produce different random tails.
+        assert len(bug_logs) > 1 or len(packet_counts) > 1
+
+    def test_core_bugs_found_in_every_trial(self, three_trials):
+        # The CMDCL 0x01 bugs land in the first few minutes of every trial.
+        assert {1, 2, 3, 4, 5, 12} <= set(three_trials.intersection_bug_ids)
+
+    def test_union_superset_of_intersection(self, three_trials):
+        assert set(three_trials.intersection_bug_ids) <= set(three_trials.union_bug_ids)
+
+    def test_unique_counts_and_mean(self, three_trials):
+        counts = three_trials.unique_counts
+        assert len(counts) == 3
+        assert three_trials.mean_unique == pytest.approx(sum(counts) / 3)
+
+    def test_timing_stats_shape(self, three_trials):
+        stats = three_trials.timing_stats()
+        assert stats
+        by_id = {s.bug_id: s for s in stats}
+        assert by_id[5].hits == 3
+        assert by_id[5].mean_time > 0
+        assert by_id[5].stdev_time >= 0.0
+
+    def test_render_contains_key_lines(self, three_trials):
+        text = three_trials.render()
+        assert "3 x 0h trials" in text
+        assert "found in every trial" in text
+        assert "#05" in text
+
+
+class TestEmptySummary:
+    def test_zero_trials(self):
+        summary = TrialSummary("D1", Mode.FULL, duration=0.0)
+        assert summary.mean_unique == 0.0
+        assert summary.union_bug_ids == ()
+        assert summary.intersection_bug_ids == ()
+        assert summary.timing_stats() == []
