@@ -8,13 +8,20 @@ only) misses exactly the seven CMDCL-0x01 bugs and lands on 8; gamma
 from repro.analysis.report import render_table6
 from repro.core.campaign import Mode
 
-from conftest import BENCH_SEED, GAMMA_SEED, cached_campaign, once
+from conftest import BENCH_SEED, GAMMA_SEED, cached_campaign, once, prefetch
 
 ABLATION_HOURS = 1.0
 
 
 def bench_table6_ablation(benchmark):
     def run_all():
+        prefetch(
+            [
+                ("zcover", "D1", Mode.FULL, ABLATION_HOURS, BENCH_SEED),
+                ("zcover", "D1", Mode.BETA, ABLATION_HOURS, BENCH_SEED),
+                ("zcover", "D1", Mode.GAMMA, ABLATION_HOURS, GAMMA_SEED),
+            ]
+        )
         return {
             Mode.FULL: cached_campaign("D1", Mode.FULL, ABLATION_HOURS, BENCH_SEED),
             Mode.BETA: cached_campaign("D1", Mode.BETA, ABLATION_HOURS, BENCH_SEED),

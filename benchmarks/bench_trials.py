@@ -10,7 +10,7 @@ early CMDCL-0x01 discoveries have tight timing spreads.
 from repro.core.campaign import Mode
 from repro.core.trials import run_trials
 
-from conftest import BENCH_HOURS, BENCH_SEED, once
+from conftest import BENCH_HOURS, BENCH_SEED, BENCH_WORKERS, once
 
 
 def bench_five_trials_d1(benchmark):
@@ -18,11 +18,12 @@ def bench_five_trials_d1(benchmark):
         benchmark,
         lambda: run_trials(
             "D1", Mode.FULL, n_trials=5, duration=BENCH_HOURS * 3600.0,
-            base_seed=BENCH_SEED,
+            base_seed=BENCH_SEED, workers=BENCH_WORKERS,
         ),
     )
     print("\n" + summary.render())
     assert summary.n_trials == 5
+    assert summary.failures == []
     # Every trial rediscovers the complete Table III set.
     assert summary.unique_counts == (15, 15, 15, 15, 15)
     assert summary.intersection_bug_ids == tuple(range(1, 16))

@@ -57,6 +57,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard independent campaigns over N worker processes "
+        "(0 = one per CPU core; results are identical to --workers 1)",
+    )
+
+
+def _resolve_workers_arg(args: argparse.Namespace) -> int:
+    """Map the CLI convention (0 = auto) onto an explicit worker count."""
+    from .core.parallel import resolve_workers
+
+    return resolve_workers(None) if args.workers == 0 else args.workers
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     """Phase 1: fingerprint the target and print the network profile."""
     sut = build_sut(args.device, seed=args.seed)
@@ -113,7 +130,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 def cmd_ablation(args: argparse.Namespace) -> int:
     """Run the Table VI ablation (full vs beta vs gamma)."""
-    results = run_ablation(device=args.device, duration=args.hours * HOUR, seed=args.seed)
+    results = run_ablation(
+        device=args.device,
+        duration=args.hours * HOUR,
+        seed=args.seed,
+        workers=_resolve_workers_arg(args),
+    )
     print(render_table6(results))
     return 0
 
@@ -121,13 +143,31 @@ def cmd_ablation(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     """Run the Table V comparison (ZCover vs VFuzz)."""
     devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    duration = args.hours * HOUR
+    workers = _resolve_workers_arg(args)
     vfuzz_results, zcover_results = {}, {}
-    for device in devices:
-        sut = build_sut(device, seed=args.seed)
-        vfuzz_results[device] = VFuzzBaseline(sut, seed=args.seed).run(args.hours * HOUR)
-        zcover_results[device] = run_campaign(
-            device=device, mode=Mode.FULL, duration=args.hours * HOUR, seed=args.seed
-        )
+    if workers > 1:
+        from .core.parallel import CampaignUnit, execute_units
+
+        units = [
+            CampaignUnit(device=d, kind=kind, mode=Mode.FULL, duration=duration,
+                         seed=args.seed)
+            for d in devices
+            for kind in ("vfuzz", "zcover")
+        ]
+        for outcome in execute_units(units, workers=workers):
+            if outcome.failure is not None:
+                print(outcome.failure.render(), file=sys.stderr)
+                return 1
+            target = vfuzz_results if outcome.unit.kind == "vfuzz" else zcover_results
+            target[outcome.unit.device] = outcome.result
+    else:
+        for device in devices:
+            sut = build_sut(device, seed=args.seed)
+            vfuzz_results[device] = VFuzzBaseline(sut, seed=args.seed).run(duration)
+            zcover_results[device] = run_campaign(
+                device=device, mode=Mode.FULL, duration=duration, seed=args.seed
+            )
     from .analysis.report import render_table5
 
     print(render_table5(vfuzz_results, zcover_results))
@@ -261,9 +301,10 @@ def cmd_trials(args: argparse.Namespace) -> int:
         n_trials=args.trials,
         duration=args.hours * HOUR,
         base_seed=args.seed,
+        workers=_resolve_workers_arg(args),
     )
     print(summary.render())
-    return 0
+    return 1 if summary.failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,12 +334,14 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="Table VI: full vs beta vs gamma")
     _add_common(ablation)
     ablation.add_argument("--hours", type=float, default=1.0)
+    _add_workers(ablation)
     ablation.set_defaults(func=cmd_ablation)
 
     compare = sub.add_parser("compare", help="Table V: ZCover vs VFuzz")
     compare.add_argument("--devices", default="D1,D2,D3,D4,D5")
     compare.add_argument("--hours", type=float, default=6.0)
     compare.add_argument("--seed", type=int, default=0)
+    _add_workers(compare)
     compare.set_defaults(func=cmd_compare)
 
     table = sub.add_parser("table", help="print a static paper table")
@@ -346,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     trials.add_argument("--mode", choices=sorted(_MODES), default="full")
     trials.add_argument("--trials", type=int, default=5)
     trials.add_argument("--hours", type=float, default=1.0)
+    _add_workers(trials)
     trials.set_defaults(func=cmd_trials)
 
     return parser

@@ -65,6 +65,16 @@ class BugLog:
     def __iter__(self) -> Iterator[BugRecord]:
         return iter(self._records)
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality (not identity) so whole campaign results can be
+        # compared across process boundaries and serialisation round trips.
+        if not isinstance(other, BugLog):
+            return NotImplemented
+        return self._records == other._records
+
+    def __repr__(self) -> str:
+        return f"BugLog({len(self._records)} records)"
+
     def add(self, record: BugRecord) -> None:
         self._records.append(record)
 

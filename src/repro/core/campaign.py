@@ -207,9 +207,29 @@ def run_ablation(
     device: str = "D1",
     duration: float = HOUR,
     seed: int = 0,
+    workers: int = 1,
 ) -> Dict[Mode, CampaignResult]:
-    """The Table VI experiment: all three modes for one hour on one device."""
-    return {
-        mode: run_campaign(device=device, mode=mode, duration=duration, seed=seed)
-        for mode in (Mode.FULL, Mode.BETA, Mode.GAMMA)
-    }
+    """The Table VI experiment: all three modes for one hour on one device.
+
+    ``workers > 1`` shards the three modes across a process pool; the
+    returned mapping is identical to the serial run either way.
+    """
+    modes = (Mode.FULL, Mode.BETA, Mode.GAMMA)
+    if workers <= 1:
+        return {
+            mode: run_campaign(device=device, mode=mode, duration=duration, seed=seed)
+            for mode in modes
+        }
+
+    from .parallel import CampaignUnit, execute_units
+
+    units = [
+        CampaignUnit(device=device, mode=mode, duration=duration, seed=seed)
+        for mode in modes
+    ]
+    results: Dict[Mode, CampaignResult] = {}
+    for outcome in execute_units(units, workers=workers):
+        if outcome.failure is not None:
+            raise CampaignError(outcome.failure.render())
+        results[outcome.unit.mode] = outcome.result
+    return results

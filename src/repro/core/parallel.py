@@ -1,0 +1,318 @@
+"""Process-pool campaign execution: shard trials across CPU cores.
+
+The paper's evaluation is embarrassingly parallel — five independent
+trials per controller, nine controllers, three ablation modes — and every
+campaign is a pure function of ``(device, mode, duration, seed)`` (see
+``docs/architecture.md`` §Determinism).  This module exploits that: a
+campaign *unit* is a small picklable spec, each worker process builds its
+own testbed from the spec, and the parent reassembles results in canonical
+submission order, so parallel output is byte-identical to a serial run.
+
+Robustness model:
+
+* each unit gets up to ``1 + retries`` attempts;
+* a worker that raises, dies (``BrokenProcessPool``) or exceeds the
+  per-unit *timeout* fails only its own unit for that round — units that
+  were collateral damage of a pool breakage are retried too;
+* the retry round runs each remaining unit in its **own** single-worker
+  pool, so one persistently crashing unit cannot take healthy retries
+  down with it;
+* a unit that exhausts its attempts surfaces as a structured
+  :class:`UnitFailure` in the merged output instead of an exception, so
+  one bad shard never discards the others' results.
+
+Workers return results in the :mod:`repro.core.resultio` wire form (plain
+JSON-safe data), never live simulator objects, so nothing heavyweight —
+in particular no :class:`~repro.zwave.registry.SpecRegistry` — crosses a
+process boundary.
+
+``fault`` on a unit is test-only fault injection (see
+``tests/test_parallel_faults.py``); production campaigns leave it unset.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import CampaignError
+from .campaign import Mode, run_campaign
+
+#: Failure categories recorded on :class:`UnitFailure`.
+FAILURE_EXCEPTION = "exception"
+FAILURE_CRASH = "worker-crash"
+FAILURE_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One picklable shard of a campaign: everything a worker needs.
+
+    ``kind`` selects the fuzzer ("zcover" runs :func:`run_campaign`,
+    "vfuzz" the Table V baseline).  The unit carries only plain values —
+    the worker rebuilds its testbed and registries locally.
+    """
+
+    device: str = "D1"
+    mode: Mode = Mode.FULL
+    duration: float = 3600.0
+    seed: int = 0
+    kind: str = "zcover"
+    queue_strategy: str = "priority"
+    passive_duration: float = 120.0
+    verify: bool = True
+    #: Test-only fault injection token (e.g. "raise", "exit",
+    #: "raise-once:<path>", "hang:<seconds>"); None in production.
+    fault: Optional[str] = None
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.device}:{self.mode.name}:seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """A shard that exhausted its attempts, as surfaced in merged output."""
+
+    unit: CampaignUnit
+    category: str  # one of FAILURE_EXCEPTION / FAILURE_CRASH / FAILURE_TIMEOUT
+    error: str
+    attempts: int
+
+    def render(self) -> str:
+        first_line = self.error.strip().splitlines()[-1] if self.error else ""
+        return (
+            f"FAILED {self.unit.label()} after {self.attempts} attempt(s) "
+            f"[{self.category}]: {first_line}"
+        )
+
+
+@dataclass
+class UnitOutcome:
+    """Final state of one unit: a result or a structured failure."""
+
+    unit: CampaignUnit
+    result: Optional[Any] = None
+    failure: Optional[UnitFailure] = None
+    attempts: int = 0
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _apply_fault(fault: Optional[str]) -> None:
+    """Honour a test-only fault-injection token inside the worker."""
+    if not fault:
+        return
+    if fault == "raise":
+        raise RuntimeError("injected fault: raise")
+    if fault == "exit":
+        os._exit(17)
+    if fault.startswith("hang:"):
+        time.sleep(float(fault.split(":", 1)[1]))
+        return
+    if fault.startswith("raise-once:") or fault.startswith("exit-once:"):
+        action, marker = fault.split(":", 1)
+        # The marker file is cross-process state: the first attempt creates
+        # it and fails, the retry sees it and proceeds normally.
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as handle:
+                handle.write("fault fired\n")
+            if action == "raise-once":
+                raise RuntimeError("injected fault: raise-once")
+            os._exit(17)
+        return
+    raise CampaignError(f"unknown fault token {fault!r}")
+
+
+def execute_unit(unit: CampaignUnit) -> Any:
+    """Run one unit in-process and return the live result object.
+
+    This is the serial path — exactly what the pre-parallel code did,
+    modulo fault injection.  The determinism suite compares its output
+    against the pooled (wire round-tripped) path to prove the codec is
+    lossless.
+    """
+    _apply_fault(unit.fault)
+    if unit.kind == "zcover":
+        return run_campaign(
+            device=unit.device,
+            mode=unit.mode,
+            duration=unit.duration,
+            seed=unit.seed,
+            passive_duration=unit.passive_duration,
+            verify=unit.verify,
+            queue_strategy=unit.queue_strategy,
+        )
+    if unit.kind == "vfuzz":
+        from ..simulator.testbed import build_sut
+        from .baseline import VFuzzBaseline
+
+        sut = build_sut(unit.device, seed=unit.seed)
+        return VFuzzBaseline(sut, seed=unit.seed).run(unit.duration)
+    raise CampaignError(f"unknown campaign-unit kind {unit.kind!r}")
+
+
+def execute_unit_to_wire(unit: CampaignUnit) -> dict:
+    """Worker entry point: run one unit, return its wire-form result."""
+    from .resultio import campaign_to_wire, vfuzz_to_wire
+
+    result = execute_unit(unit)
+    if unit.kind == "vfuzz":
+        return vfuzz_to_wire(result)
+    return campaign_to_wire(result)
+
+
+def _rehydrate(unit: CampaignUnit, wire: dict) -> Any:
+    from .resultio import campaign_from_wire, vfuzz_from_wire
+
+    if unit.kind == "vfuzz":
+        return vfuzz_from_wire(wire)
+    return campaign_from_wire(wire)
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a worker request: 0/None mean one worker per CPU core.
+
+    An explicit positive count is honoured verbatim (even beyond the core
+    count — oversubscription is the caller's call); the executor still
+    never starts more workers than it has units.
+    """
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def parallel_supported() -> bool:
+    """Whether this platform can run a process pool at all.
+
+    ``ProcessPoolExecutor`` needs working multiprocessing synchronisation
+    primitives; some minimal containers ship Python without them, in which
+    case every parallel request silently degrades to the serial path.
+    """
+    try:
+        import multiprocessing.synchronize  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _run_serial(units: Sequence[CampaignUnit], retries: int) -> List[UnitOutcome]:
+    outcomes = []
+    for unit in units:
+        outcome = UnitOutcome(unit=unit)
+        for attempt in range(1, retries + 2):
+            outcome.attempts = attempt
+            try:
+                outcome.result = execute_unit(unit)
+                outcome.failure = None
+                break
+            except Exception:
+                outcome.failure = UnitFailure(
+                    unit=unit,
+                    category=FAILURE_EXCEPTION,
+                    error=traceback.format_exc(),
+                    attempts=attempt,
+                )
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _collect_round(
+    pool: ProcessPoolExecutor,
+    pending: Dict[int, UnitOutcome],
+    timeout: Optional[float],
+) -> None:
+    """Submit every pending unit to *pool* and harvest results/failures.
+
+    Mutates the outcomes in place; entries that got a result are removed
+    from *pending*.  A broken pool fails every still-unresolved future for
+    this round (they all keep their retry budget).
+    """
+    futures = {
+        index: pool.submit(execute_unit_to_wire, outcome.unit)
+        for index, outcome in pending.items()
+    }
+    for index, future in futures.items():
+        outcome = pending[index]
+        outcome.attempts += 1
+        try:
+            wire = future.result(timeout=timeout)
+        except FutureTimeout:
+            future.cancel()
+            outcome.failure = UnitFailure(
+                unit=outcome.unit,
+                category=FAILURE_TIMEOUT,
+                error=f"no result within {timeout}s",
+                attempts=outcome.attempts,
+            )
+            continue
+        except BaseException as exc:  # worker raise, pool breakage, cancel
+            crashed = type(exc).__name__ in ("BrokenProcessPool", "BrokenExecutor")
+            outcome.failure = UnitFailure(
+                unit=outcome.unit,
+                category=FAILURE_CRASH if crashed else FAILURE_EXCEPTION,
+                error="".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip(),
+                attempts=outcome.attempts,
+            )
+            continue
+        outcome.result = _rehydrate(outcome.unit, wire)
+        outcome.failure = None
+        del pending[index]
+
+
+def execute_units(
+    units: Sequence[CampaignUnit],
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[UnitOutcome]:
+    """Run *units*, sharded over *workers* processes, in canonical order.
+
+    Returns one :class:`UnitOutcome` per unit **in the input order**,
+    regardless of which worker finished first — the caller's merge step
+    (:func:`repro.core.resultio.merge_trials`) depends on this.
+
+    ``workers <= 1`` — or a platform without multiprocessing support —
+    runs everything serially in-process.  *timeout* bounds the wall-clock
+    wait for each unit's result per attempt; *retries* is the number of
+    extra attempts a failing unit gets before its failure is surfaced.
+    """
+    if workers <= 1 or len(units) <= 1 or not parallel_supported():
+        return _run_serial(units, retries)
+
+    outcomes = [UnitOutcome(unit=unit) for unit in units]
+    pending: Dict[int, UnitOutcome] = dict(enumerate(outcomes))
+    pool_size = min(resolve_workers(workers), len(units))
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=pool_size)
+    except (OSError, ImportError, NotImplementedError):
+        return _run_serial(units, retries)
+    try:
+        _collect_round(pool, pending, timeout)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Retry rounds: each surviving unit runs in its own fresh single-worker
+    # pool so a persistently crashing shard is isolated from the others.
+    for _ in range(retries):
+        if not pending:
+            break
+        for index in list(pending):
+            retry_pool = ProcessPoolExecutor(max_workers=1)
+            try:
+                _collect_round(retry_pool, {index: pending[index]}, timeout)
+            finally:
+                retry_pool.shutdown(wait=False, cancel_futures=True)
+            if pending[index].result is not None:
+                del pending[index]
+    return outcomes

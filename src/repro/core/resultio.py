@@ -1,0 +1,292 @@
+"""Lossless wire serialisation and deterministic merging of results.
+
+Campaign results must cross process boundaries when trials are sharded
+across workers (:mod:`repro.core.parallel`).  Pickling the live objects
+would work, but it is fragile — any future field holding a
+:class:`~repro.zwave.registry.SpecRegistry`, a simulator handle or an open
+generator would silently drag megabytes (or fail outright) through every
+worker pipe.  Instead, workers reduce their results to a *wire form*: a
+tree of plain dicts, lists, strings and numbers that is JSON-serialisable
+by construction, so nothing that is not plain data can cross by accident.
+
+The round trip is **lossless**: ``campaign_from_wire(campaign_to_wire(r))``
+compares equal to ``r`` and renders byte-identical reports, which is what
+lets the parallel executor guarantee output identical to a serial run
+(``tests/test_parallel_determinism.py`` is the proof).
+
+The second half of this module is the deterministic merge: shard outcomes
+are reassembled in canonical seed order — the order the serial loop would
+have produced them — regardless of worker completion order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .baseline import VFuzzResult
+from .buglog import BugLog, BugRecord
+from .campaign import CampaignResult, Mode
+from .fuzzer import DetectionMark, FuzzResult, TimelinePoint
+from .monitor import ObservedKind
+from .properties import ControllerProperties
+from .tester import Signature, VerifiedFinding, VerifiedUnique
+
+#: Wire-format version, bumped on incompatible layout changes so stale
+#: shards from a different code revision are rejected instead of merged.
+WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """A wire payload does not match the expected layout or version."""
+
+
+# -- controller properties -----------------------------------------------------
+
+
+def properties_to_wire(props: Optional[ControllerProperties]) -> Optional[dict]:
+    """Reduce fingerprint/discovery properties to plain data."""
+    if props is None:
+        return None
+    return {
+        "home_id": props.home_id,
+        "controller_node_id": props.controller_node_id,
+        "observed_node_ids": sorted(props.observed_node_ids),
+        "listed_cmdcls": list(props.listed_cmdcls),
+        "unlisted_candidates": list(props.unlisted_candidates),
+        "validated_unknown": list(props.validated_unknown),
+        "proprietary": list(props.proprietary),
+    }
+
+
+def properties_from_wire(data: Optional[dict]) -> Optional[ControllerProperties]:
+    """Rebuild :class:`ControllerProperties` from its wire form."""
+    if data is None:
+        return None
+    return ControllerProperties(
+        home_id=data["home_id"],
+        controller_node_id=data["controller_node_id"],
+        observed_node_ids=frozenset(data["observed_node_ids"]),
+        listed_cmdcls=tuple(data["listed_cmdcls"]),
+        unlisted_candidates=tuple(data["unlisted_candidates"]),
+        validated_unknown=tuple(data["validated_unknown"]),
+        proprietary=tuple(data["proprietary"]),
+    )
+
+
+# -- fuzz results --------------------------------------------------------------
+
+
+def fuzz_to_wire(fuzz: FuzzResult) -> dict:
+    """Reduce an engine run (log, detections, timeline) to plain data."""
+    return {
+        "packets_sent": fuzz.packets_sent,
+        "duration": fuzz.duration,
+        "bug_log": [
+            {
+                "timestamp": r.timestamp,
+                "packet_no": r.packet_no,
+                "cmdcl": r.cmdcl,
+                "cmd": r.cmd,
+                "payload_hex": r.payload_hex,
+                "observed": r.observed,
+            }
+            for r in fuzz.bug_log
+        ],
+        "detections": [
+            [d.timestamp, d.packet_no, d.cmdcl, d.observed] for d in fuzz.detections
+        ],
+        "timeline": [[p.timestamp, p.packets, p.detections] for p in fuzz.timeline],
+        "cmdcls_used": sorted(fuzz.cmdcls_used),
+        "cmds_used": sorted(fuzz.cmds_used),
+        "windows_completed": fuzz.windows_completed,
+    }
+
+
+def fuzz_from_wire(data: dict) -> FuzzResult:
+    """Rebuild a :class:`FuzzResult` from its wire form."""
+    return FuzzResult(
+        packets_sent=data["packets_sent"],
+        duration=data["duration"],
+        bug_log=BugLog([BugRecord(**record) for record in data["bug_log"]]),
+        detections=[
+            DetectionMark(timestamp=t, packet_no=n, cmdcl=c, observed=o)
+            for t, n, c, o in data["detections"]
+        ],
+        timeline=[
+            TimelinePoint(timestamp=t, packets=p, detections=d)
+            for t, p, d in data["timeline"]
+        ],
+        cmdcls_used=set(data["cmdcls_used"]),
+        cmds_used=set(data["cmds_used"]),
+        windows_completed=data["windows_completed"],
+    )
+
+
+# -- verified findings ---------------------------------------------------------
+
+
+def _unique_to_wire(signature: Signature, unique: VerifiedUnique) -> dict:
+    finding = unique.finding
+    return {
+        "signature": list(signature),
+        "payload_hex": finding.payload_hex,
+        "cmdcl": finding.cmdcl,
+        "cmd": finding.cmd,
+        "kind": finding.kind.value,
+        "duration_s": finding.duration_s,
+        "first_detection_time": unique.first_detection_time,
+        "first_detection_packet": unique.first_detection_packet,
+    }
+
+
+def _unique_from_wire(data: dict) -> Tuple[Signature, VerifiedUnique]:
+    signature: Signature = tuple(data["signature"])  # type: ignore[assignment]
+    finding = VerifiedFinding(
+        payload_hex=data["payload_hex"],
+        cmdcl=data["cmdcl"],
+        cmd=data["cmd"],
+        kind=ObservedKind(data["kind"]),
+        duration_s=data["duration_s"],
+    )
+    unique = VerifiedUnique(
+        finding=finding,
+        first_detection_time=data["first_detection_time"],
+        first_detection_packet=data["first_detection_packet"],
+    )
+    return signature, unique
+
+
+# -- whole campaigns -----------------------------------------------------------
+
+
+def campaign_to_wire(result: CampaignResult) -> dict:
+    """Reduce a campaign result to plain JSON-serialisable data."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "device": result.device,
+        "mode": result.mode.name,
+        "duration": result.duration,
+        "properties": properties_to_wire(result.properties),
+        "fuzz": fuzz_to_wire(result.fuzz),
+        "unique": [
+            _unique_to_wire(signature, unique)
+            for signature, unique in result.unique.items()
+        ],
+    }
+
+
+def campaign_from_wire(data: dict) -> CampaignResult:
+    """Rebuild the full campaign result from its wire form."""
+    if data.get("wire_version") != WIRE_VERSION:
+        raise WireError(
+            f"wire version {data.get('wire_version')!r} != expected {WIRE_VERSION}"
+        )
+    return CampaignResult(
+        device=data["device"],
+        mode=Mode[data["mode"]],
+        duration=data["duration"],
+        properties=properties_from_wire(data["properties"]),
+        fuzz=fuzz_from_wire(data["fuzz"]),
+        unique=dict(_unique_from_wire(entry) for entry in data["unique"]),
+    )
+
+
+# -- VFuzz baseline results ----------------------------------------------------
+
+
+def vfuzz_to_wire(result: VFuzzResult) -> dict:
+    """Reduce a Table V baseline run to plain data."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "packets_sent": result.packets_sent,
+        "duration": result.duration,
+        "accepted_estimate": result.accepted_estimate,
+        "quirks_found": list(result.quirks_found),
+        "zero_day_payloads": [p.hex() for p in result.zero_day_payloads],
+        "cmdcls_used": sorted(result.cmdcls_used),
+        "cmds_used": sorted(result.cmds_used),
+        "detections": [[t, n] for t, n in result.detections],
+    }
+
+
+def vfuzz_from_wire(data: dict) -> VFuzzResult:
+    """Rebuild a :class:`VFuzzResult`, rejecting mismatched versions."""
+    if data.get("wire_version") != WIRE_VERSION:
+        raise WireError(
+            f"wire version {data.get('wire_version')!r} != expected {WIRE_VERSION}"
+        )
+    return VFuzzResult(
+        packets_sent=data["packets_sent"],
+        duration=data["duration"],
+        accepted_estimate=data["accepted_estimate"],
+        quirks_found=list(data["quirks_found"]),
+        zero_day_payloads=[bytes.fromhex(p) for p in data["zero_day_payloads"]],
+        cmdcls_used=set(data["cmdcls_used"]),
+        cmds_used=set(data["cmds_used"]),
+        detections=[(t, n) for t, n in data["detections"]],
+    )
+
+
+# -- JSON convenience ----------------------------------------------------------
+
+
+def dumps_wire(wire: dict) -> str:
+    """Serialise a wire dict to canonical JSON (sorted keys, no spaces)."""
+    return json.dumps(wire, sort_keys=True, separators=(",", ":"))
+
+
+def loads_wire(text: str) -> dict:
+    """Parse JSON produced by :func:`dumps_wire`."""
+    return json.loads(text)
+
+
+# -- deterministic merging -----------------------------------------------------
+
+
+def merge_campaign_outcomes(
+    outcomes: List[Any],
+) -> Tuple[List[CampaignResult], List[Any]]:
+    """Split executor outcomes into results and failures, preserving order.
+
+    *outcomes* are :class:`repro.core.parallel.UnitOutcome` objects in
+    canonical (submission/seed) order; the executor already guarantees that
+    order is independent of worker scheduling.  Returns ``(results,
+    failures)`` where *results* keeps the canonical order and *failures*
+    are the structured :class:`repro.core.parallel.UnitFailure` records of
+    the shards that never produced a result.
+    """
+    results: List[CampaignResult] = []
+    failures: List[Any] = []
+    for outcome in outcomes:
+        if outcome.result is not None:
+            results.append(outcome.result)
+        elif outcome.failure is not None:
+            failures.append(outcome.failure)
+    return results, failures
+
+
+def merge_trials(
+    device: str,
+    mode: Mode,
+    duration: float,
+    outcomes: List[Any],
+) -> "TrialSummary":
+    """Reassemble sharded trial outcomes into a :class:`TrialSummary`.
+
+    The summary's ``trials`` list follows canonical seed order (the order
+    the serial loop would have produced), so aggregate statistics, bug-ID
+    unions/intersections and the rendered report are byte-identical to a
+    serial run.  Failed shards become structured entries in
+    ``summary.failures`` without disturbing the surviving trials.
+    """
+    from .trials import TrialSummary  # local import: trials imports us too
+
+    results, failures = merge_campaign_outcomes(outcomes)
+    return TrialSummary(
+        device=device,
+        mode=mode,
+        duration=duration,
+        trials=results,
+        failures=failures,
+    )

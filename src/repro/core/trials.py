@@ -6,13 +6,19 @@ This module runs the repeated trials with distinct seeds and aggregates
 the statistics a fuzzing evaluation reports: unique-finding counts per
 trial, the union/intersection of findings, and per-bug discovery-time
 means and spreads.
+
+Trials are independent, so ``run_trials(workers=N)`` shards them across a
+process pool (:mod:`repro.core.parallel`); the merge step reassembles the
+results in seed order, making the parallel output identical to a serial
+run.  A shard that keeps crashing surfaces in ``TrialSummary.failures``
+instead of discarding the surviving trials.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .campaign import CampaignResult, DAY, Mode, run_campaign
 
@@ -36,6 +42,9 @@ class TrialSummary:
     mode: Mode
     duration: float
     trials: List[CampaignResult] = field(default_factory=list)
+    #: Structured records of shards that never produced a result
+    #: (:class:`repro.core.parallel.UnitFailure`); empty on a clean run.
+    failures: List[object] = field(default_factory=list)
 
     @property
     def n_trials(self) -> int:
@@ -110,7 +119,36 @@ class TrialSummary:
                 f"#{s.bug_id:02d}   {s.hits}/{self.n_trials}   "
                 f"{s.mean_time:8.1f}  {s.stdev_time:8.1f}  {s.mean_packets:10.0f}"
             )
+        for failure in self.failures:
+            lines.append(failure.render())
         return "\n".join(lines)
+
+
+#: Seed spacing between trials of one summary (trial *i* runs with
+#: ``base_seed + SEED_STRIDE * i``), kept well clear of the per-phase
+#: seed-derivation XORs inside a campaign.
+SEED_STRIDE = 1000
+
+
+def trial_units(
+    device: str,
+    mode: Mode,
+    n_trials: int,
+    duration: float,
+    base_seed: int,
+) -> "List[CampaignUnit]":
+    """The campaign units of one trial series, in canonical seed order."""
+    from .parallel import CampaignUnit
+
+    return [
+        CampaignUnit(
+            device=device,
+            mode=mode,
+            duration=duration,
+            seed=base_seed + SEED_STRIDE * trial_index,
+        )
+        for trial_index in range(n_trials)
+    ]
 
 
 def run_trials(
@@ -119,16 +157,32 @@ def run_trials(
     n_trials: int = 5,
     duration: float = DAY,
     base_seed: int = 0,
+    workers: int = 1,
+    timeout: Optional[float] = None,
 ) -> TrialSummary:
-    """Run *n_trials* independent campaigns with distinct seeds."""
-    summary = TrialSummary(device=device, mode=mode, duration=duration)
-    for trial_index in range(n_trials):
-        summary.trials.append(
-            run_campaign(
-                device=device,
-                mode=mode,
-                duration=duration,
-                seed=base_seed + 1000 * trial_index,
+    """Run *n_trials* independent campaigns with distinct seeds.
+
+    ``workers > 1`` shards the trials across a process pool; the result is
+    identical to the serial run (``tests/test_parallel_determinism.py``).
+    """
+    if workers <= 1:
+        # The historical serial loop, kept free of executor machinery so
+        # the parallel path has a reference output to be compared against.
+        summary = TrialSummary(device=device, mode=mode, duration=duration)
+        for trial_index in range(n_trials):
+            summary.trials.append(
+                run_campaign(
+                    device=device,
+                    mode=mode,
+                    duration=duration,
+                    seed=base_seed + SEED_STRIDE * trial_index,
+                )
             )
-        )
-    return summary
+        return summary
+
+    from .parallel import execute_units
+    from .resultio import merge_trials
+
+    units = trial_units(device, mode, n_trials, duration, base_seed)
+    outcomes = execute_units(units, workers=workers, timeout=timeout)
+    return merge_trials(device, mode, duration, outcomes)

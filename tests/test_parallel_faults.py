@@ -1,0 +1,126 @@
+"""Worker-crash handling in the parallel executor.
+
+A campaign unit whose worker raises, dies or hangs must be retried once
+and then surfaced as a *structured* failure in the merged summary — never
+an unhandled exception, and never at the cost of the other shards'
+results.
+"""
+
+import pytest
+
+from repro.core.campaign import Mode
+from repro.core.parallel import (
+    FAILURE_CRASH,
+    FAILURE_EXCEPTION,
+    FAILURE_TIMEOUT,
+    CampaignUnit,
+    UnitFailure,
+    execute_units,
+    parallel_supported,
+    resolve_workers,
+)
+from repro.core.resultio import merge_trials
+from repro.core.trials import trial_units
+
+DURATION = 600.0  # 10 simulated minutes keeps each shard ~0.5 s wall
+
+
+def good_units(n=2):
+    return trial_units("D1", Mode.FULL, n, DURATION, 0)
+
+
+def faulty(fault, seed=9999):
+    return CampaignUnit(device="D1", mode=Mode.FULL, duration=DURATION,
+                        seed=seed, fault=fault)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """What the healthy shards must still produce, faults notwithstanding."""
+    outcomes = execute_units(good_units(), workers=1)
+    return [o.result for o in outcomes]
+
+
+class TestWorkerRaise:
+    def test_retried_once_then_structured_failure(self, reference):
+        outcomes = execute_units(good_units() + [faulty("raise")], workers=3)
+        bad = outcomes[-1]
+        assert bad.result is None
+        assert bad.attempts == 2  # first try + one retry
+        assert isinstance(bad.failure, UnitFailure)
+        assert bad.failure.category == FAILURE_EXCEPTION
+        assert "injected fault" in bad.failure.error
+        # The healthy shards' results are intact and identical to serial.
+        assert [o.result for o in outcomes[:2]] == reference
+
+    def test_merged_summary_keeps_survivors(self, reference):
+        outcomes = execute_units(good_units() + [faulty("raise")], workers=3)
+        summary = merge_trials("D1", Mode.FULL, DURATION, outcomes)
+        assert summary.n_trials == 2
+        assert summary.trials == reference
+        assert len(summary.failures) == 1
+        assert summary.failures[0].category == FAILURE_EXCEPTION
+        rendered = summary.render()
+        assert "FAILED zcover:D1:FULL:seed=9999" in rendered
+        assert "2 attempt(s)" in rendered
+
+    def test_transient_fault_recovers_on_retry(self, tmp_path, reference):
+        # The marker file makes the first attempt raise and the retry
+        # succeed — the unit must come back with a result, not a failure.
+        marker = tmp_path / "fault-fired"
+        flaky = CampaignUnit(device="D1", mode=Mode.FULL, duration=DURATION,
+                             seed=0, fault=f"raise-once:{marker}")
+        outcomes = execute_units([flaky, good_units()[1]], workers=2)
+        assert marker.exists()
+        assert outcomes[0].failure is None
+        assert outcomes[0].attempts == 2
+        assert outcomes[0].result == reference[0]
+        assert outcomes[1].result == reference[1]
+
+
+@pytest.mark.skipif(not parallel_supported(), reason="no process pool here")
+class TestWorkerDeath:
+    def test_dead_worker_is_contained(self, reference):
+        # os._exit in the worker breaks the whole pool; innocent shards
+        # caught in the breakage must be retried, the culprit surfaced.
+        outcomes = execute_units(good_units() + [faulty("exit")], workers=3)
+        bad = outcomes[-1]
+        assert bad.result is None
+        assert bad.failure is not None
+        assert bad.failure.category == FAILURE_CRASH
+        assert [o.result for o in outcomes[:2]] == reference
+
+    def test_serial_fallback_never_forks(self, reference):
+        # workers=1 must not even create a pool — an "exit" fault there
+        # would kill the test process itself, so only assert the healthy
+        # path produces identical results in-process.
+        outcomes = execute_units(good_units(), workers=1)
+        assert [o.result for o in outcomes] == reference
+
+
+@pytest.mark.skipif(not parallel_supported(), reason="no process pool here")
+class TestTimeout:
+    def test_hanging_worker_times_out(self, reference):
+        # The hang (6 s wall) comfortably exceeds the per-unit budget
+        # (2.5 s), while the healthy shard finishes well inside it.
+        outcomes = execute_units(
+            [good_units(1)[0], faulty("hang:6")], workers=2, timeout=2.5
+        )
+        good, bad = outcomes
+        assert good.result == reference[0]
+        assert bad.result is None
+        assert bad.failure is not None
+        assert bad.failure.category == FAILURE_TIMEOUT
+        assert "2.5" in bad.failure.error
+
+
+class TestWorkerResolution:
+    def test_zero_means_per_core(self):
+        import os
+
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_explicit_counts_are_honoured(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers(1) == 1
