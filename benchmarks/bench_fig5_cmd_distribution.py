@@ -5,7 +5,7 @@ Regenerates the bar chart series (23, 15, 11, 10, 8, 7, 6, 6, 5, 4, 3, 2,
 Section III-C1.
 """
 
-from repro.analysis.report import FIGURE5_CLASS_IDS, figure5_series, render_figure5
+from repro.analysis.report import figure5_series, render_figure5
 from repro.zwave.registry import load_full_registry
 
 PAPER_SERIES = [23, 15, 11, 10, 8, 7, 6, 6, 5, 4, 3, 2, 2, 1, 1, 0]

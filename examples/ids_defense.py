@@ -15,7 +15,7 @@ Usage::
     python examples/ids_defense.py
 """
 
-from repro.analysis import AlertKind, ZWaveIDS
+from repro.analysis import ZWaveIDS
 from repro.simulator import build_sut
 from repro.simulator.vulnerabilities import ZERO_DAYS
 from repro.zwave import ZWaveFrame

@@ -25,7 +25,6 @@ from .analysis.report import (
     render_figure12,
     render_table2,
     render_table3,
-    render_table4,
     render_table5,
     render_table6,
 )
@@ -168,8 +167,6 @@ def cmd_compare(args: argparse.Namespace) -> int:
             zcover_results[device] = run_campaign(
                 device=device, mode=Mode.FULL, duration=duration, seed=args.seed
             )
-    from .analysis.report import render_table5
-
     print(render_table5(vfuzz_results, zcover_results))
     return 0
 
@@ -293,6 +290,28 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo's own static-analysis pass (see repro.lint)."""
+    import json
+    from pathlib import Path
+
+    from .lint import run_lint
+    from .lint.runner import default_analyzers
+
+    root = Path(args.root) if args.root else None
+    if args.rules:
+        for analyzer in default_analyzers():
+            for rule, description in sorted(analyzer.rules.items()):
+                print(f"{rule}  [{analyzer.name}]  {description}")
+        return 0
+    report = run_lint(root=root)
+    if args.format == "json":
+        print(json.dumps(report.to_document(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def cmd_trials(args: argparse.Namespace) -> int:
     """Run repeated trials and print aggregate statistics."""
     summary = run_trials(
@@ -391,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
     trials.add_argument("--hours", type=float, default=1.0)
     _add_workers(trials)
     trials.set_defaults(func=cmd_trials)
+
+    lint = sub.add_parser("lint", help="static analysis of the repro source tree")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--root", help="lint this tree instead of the installed package")
+    lint.add_argument("--rules", action="store_true", help="list every rule and exit")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

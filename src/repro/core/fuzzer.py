@@ -14,7 +14,6 @@ simulated seconds ≈ 800 packets in the first 600 seconds (Figure 12).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 

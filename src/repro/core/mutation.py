@@ -101,7 +101,7 @@ class PositionSensitiveMutator:
 
     def __init__(self, registry: SpecRegistry, rng: Optional[random.Random] = None):
         self._registry = registry
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
 
     # -- public API ------------------------------------------------------------
 
@@ -303,7 +303,7 @@ class RandomMutator:
     """
 
     def __init__(self, rng: Optional[random.Random] = None):
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
 
     def generate(self) -> Iterator[TestCase]:
         """Yield uniformly random (cmdcl, cmd, params) test cases forever."""

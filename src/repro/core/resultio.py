@@ -22,7 +22,7 @@ have produced them — regardless of worker completion order.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from .baseline import VFuzzResult
 from .buglog import BugLog, BugRecord

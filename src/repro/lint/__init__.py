@@ -1,0 +1,35 @@
+"""Custom static analysis over the reproduction's own source tree.
+
+Three analyzer families guard the invariants the test suite cannot see
+(see ``docs/architecture.md`` §Static analysis):
+
+* :mod:`repro.lint.determinism` — no unseeded entropy or wall-clock reads
+  inside ``src/repro``, since seed-stable trial sharding depends on every
+  random draw flowing through the plumbed ``random.Random`` instances;
+* :mod:`repro.lint.conformance` — the dispatch tables of the simulator and
+  the mutation engine agree with :class:`repro.zwave.registry.SpecRegistry`
+  (a static mirror of the paper's Phase-2 drift discovery);
+* :mod:`repro.lint.wiresafety` — every dataclass crossing the worker
+  boundary through :mod:`repro.core.resultio` carries only JSON-clean
+  field types, so new fields cannot silently break the parallel codec.
+
+Run it as ``zcover lint`` (``--format json`` for machine output).
+"""
+
+from .conformance import ConformanceAnalyzer
+from .determinism import DeterminismAnalyzer
+from .findings import SCHEMA_VERSION, LintFinding, Severity
+from .runner import LintReport, default_analyzers, run_lint
+from .wiresafety import WireSafetyAnalyzer
+
+__all__ = [
+    "ConformanceAnalyzer",
+    "DeterminismAnalyzer",
+    "LintFinding",
+    "LintReport",
+    "SCHEMA_VERSION",
+    "Severity",
+    "WireSafetyAnalyzer",
+    "default_analyzers",
+    "run_lint",
+]

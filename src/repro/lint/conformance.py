@@ -1,0 +1,291 @@
+"""Spec-conformance lint: dispatch tables must agree with the registry.
+
+ZCover's core finding is *drift* between what a controller declares and
+what its implementation actually processes — the unknown-properties phase
+that surfaced the proprietary CMDCLs 0x01/0x02.  Our reproduction can
+drift the same way internally: :mod:`repro.zwave.spec_data` defines the
+ground-truth registry while the simulator's dispatch code and the
+mutation engine reference CMDCL/CMD identifiers as literals.  This
+analyzer statically extracts those literals and cross-checks them against
+:class:`~repro.zwave.registry.SpecRegistry` — a static mirror of the
+paper's Phase-2 discovery pointed at our own source.
+
+Rules
+=====
+
+``C201`` (phantom command class)
+    A CMDCL literal handled by dispatch code (compared against
+    ``*.cmdcl`` or built into an ``ApplicationPayload``) that the
+    registry does not define.
+
+``C202`` (phantom command)
+    A ``(CMDCL, CMD)`` pair handled by dispatch code whose command the
+    registry does not define for that class.  Pairs come from boolean
+    tests combining both comparisons, and from handler functions whose
+    body references exactly one distinct CMDCL (the per-class handler
+    idiom of :mod:`repro.simulator.controller`).
+
+``C203`` (unreachable spec entry)
+    A controller-relevant registry class that no dispatch module ever
+    references.  Suppressed entirely when a generic registry-driven
+    dispatch path exists (a ``registry.get(...)`` call reaches every
+    class by construction) — the rule fires on trees that route commands
+    through explicit per-class tables only.
+
+``C204`` (unknown mutation field)
+    An entry of a ``FIELD_OPERATORS`` mutation table keyed by a frame
+    field name outside the canonical Z-Wave frame layout.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from .base import Analyzer, SourceFile, dotted_name, int_const, walk_scopes
+from .findings import LintFinding, Severity
+
+#: The modules whose dispatch literals are cross-checked by default.  On
+#: a synthetic tree (unit tests) where none of these exist, every file is
+#: scanned instead.
+DEFAULT_DISPATCH_FILES: Tuple[str, ...] = (
+    "simulator/controller.py",
+    "simulator/slave.py",
+    "core/mutation.py",
+)
+
+#: The canonical Z-Wave frame fields of Table I (MAC header + APL + CS).
+CANONICAL_FRAME_FIELDS = frozenset(
+    {"H-ID", "SRC", "P1", "P2", "LEN", "DST", "CMDCL", "CMD", "PARAM", "CS"}
+)
+
+#: Dict-table names whose keys must be canonical frame field names.
+_MUTATION_TABLE_NAMES = frozenset({"FIELD_OPERATORS"})
+
+
+def _compare_consts(node: ast.Compare, attr: str) -> List[int]:
+    """Constants compared for equality/membership against ``*.<attr>``."""
+    left = dotted_name(node.left)
+    if left is None or not (left == attr or left.endswith(f".{attr}")):
+        return []
+    out: List[int] = []
+    for op, comparator in zip(node.ops, node.comparators):
+        # NotEq/NotIn guards (`if p.cmdcl != 0x85: return`) reference the
+        # constant just as much as the positive forms do.
+        if not isinstance(op, (ast.Eq, ast.In, ast.NotEq, ast.NotIn)):
+            continue
+        value = int_const(comparator)
+        if value is not None:
+            out.append(value)
+        elif isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+            out.extend(
+                v for v in (int_const(e) for e in comparator.elts) if v is not None
+            )
+    return out
+
+
+def _payload_construct_cmdcl(node: ast.Call) -> Optional[int]:
+    """The constant first argument of an ``ApplicationPayload(...)`` call."""
+    name = dotted_name(node.func)
+    if name is None or name.split(".")[-1] != "ApplicationPayload":
+        return None
+    if not node.args:
+        return None
+    return int_const(node.args[0])
+
+
+class ConformanceAnalyzer(Analyzer):
+    """Cross-check dispatch literals against the specification registry."""
+
+    name = "spec-conformance"
+    rules = {
+        "C201": "dispatch references a command class absent from the registry",
+        "C202": "dispatch references a command the registry does not define",
+        "C203": "controller-relevant registry class never dispatched",
+        "C204": "mutation table targets an unknown frame field",
+    }
+
+    def __init__(
+        self,
+        registry=None,
+        dispatch_files: Tuple[str, ...] = DEFAULT_DISPATCH_FILES,
+    ):
+        self._registry = registry
+        self._dispatch_files = tuple(dispatch_files)
+
+    def _load_registry(self):
+        if self._registry is not None:
+            return self._registry
+        from ..zwave.registry import load_full_registry
+
+        return load_full_registry()
+
+    def analyze(self, sources: List[SourceFile]) -> List[LintFinding]:
+        """Cross-check every dispatch file's literals against the registry."""
+        registry = self._load_registry()
+        selected = [s for s in sources if s.rel in self._dispatch_files]
+        if not selected:
+            selected = list(sources)
+        findings: List[LintFinding] = []
+        referenced: Set[int] = set()
+        generic_dispatch = False
+        for source in selected:
+            file_findings, cmdcls, has_generic = self._analyze_file(source, registry)
+            findings.extend(file_findings)
+            referenced |= cmdcls
+            generic_dispatch = generic_dispatch or has_generic
+        if not generic_dispatch:
+            findings.extend(self._unreachable(selected, registry, referenced))
+        return findings
+
+    # -- per-file extraction ---------------------------------------------------
+
+    def _analyze_file(self, source: SourceFile, registry):
+        findings: List[LintFinding] = []
+        referenced: Set[int] = set()
+        generic = False
+        for _scope, nodes in walk_scopes(source.tree):
+            scope_cmdcls: Set[int] = set()
+            cmd_refs: List[Tuple[int, ast.Compare]] = []
+            pair_nodes: List[Tuple[int, int, ast.AST]] = []
+            for node in nodes:
+                if isinstance(node, ast.Call):
+                    target = dotted_name(node.func)
+                    if target is not None and target.endswith("registry.get"):
+                        generic = True
+                    cmdcl = _payload_construct_cmdcl(node)
+                    if cmdcl is not None:
+                        scope_cmdcls.add(cmdcl)
+                        findings.extend(
+                            self._check_cmdcl(source, node, cmdcl, registry)
+                        )
+                elif isinstance(node, ast.Compare):
+                    for cmdcl in _compare_consts(node, "cmdcl"):
+                        scope_cmdcls.add(cmdcl)
+                        findings.extend(
+                            self._check_cmdcl(source, node, cmdcl, registry)
+                        )
+                    for cmd in _compare_consts(node, "cmd"):
+                        cmd_refs.append((cmd, node))
+                elif isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+                    pair_nodes.extend(self._pairs_from_boolop(node))
+                elif isinstance(node, ast.Assign):
+                    findings.extend(self._check_mutation_table(source, node))
+            # Pair every bare `.cmd == X` with the scope's CMDCL when the
+            # scope references exactly one class (per-class handler idiom).
+            pairs = list(pair_nodes)
+            paired_cmds = {id(n) for _, _, n in pair_nodes}
+            if len(scope_cmdcls) == 1:
+                (only,) = scope_cmdcls
+                pairs.extend(
+                    (only, cmd, node)
+                    for cmd, node in cmd_refs
+                    if id(node) not in paired_cmds
+                )
+            findings.extend(self._check_pairs(source, pairs, registry))
+            referenced |= scope_cmdcls
+        return findings, referenced, generic
+
+    def _pairs_from_boolop(self, node: ast.BoolOp):
+        cmdcls: Set[int] = set()
+        cmds: List[Tuple[int, ast.AST]] = []
+        for value in node.values:
+            if isinstance(value, ast.Compare):
+                cmdcls.update(_compare_consts(value, "cmdcl"))
+                cmds.extend((c, value) for c in _compare_consts(value, "cmd"))
+        if len(cmdcls) != 1:
+            return []
+        (only,) = cmdcls
+        return [(only, cmd, compare) for cmd, compare in cmds]
+
+    # -- rule checks -----------------------------------------------------------
+
+    def _check_cmdcl(self, source, node, cmdcl: int, registry) -> List[LintFinding]:
+        if cmdcl in registry:
+            return []
+        return [
+            LintFinding(
+                rule="C201",
+                severity=Severity.ERROR,
+                path=source.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"command class 0x{cmdcl:02X} is handled but not in the registry",
+                hint="register it in zwave/spec_data.py or drop the phantom handler",
+            )
+        ]
+
+    def _check_pairs(self, source, pairs, registry) -> List[LintFinding]:
+        findings = []
+        seen: Set[Tuple[int, int, int]] = set()
+        for cmdcl, cmd, node in pairs:
+            cls = registry.get(cmdcl)
+            if cls is None or cls.command(cmd) is not None:
+                continue  # phantom class already reported by C201
+            key = (cmdcl, cmd, node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                LintFinding(
+                    rule="C202",
+                    severity=Severity.ERROR,
+                    path=source.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"command 0x{cmd:02X} of {cls.name} (0x{cmdcl:02X}) is "
+                        "handled but not defined in the registry"
+                    ),
+                    hint="add the command to zwave/spec_data.py or fix the handler",
+                )
+            )
+        return findings
+
+    def _check_mutation_table(self, source, node: ast.Assign) -> List[LintFinding]:
+        targets = {t.id for t in node.targets if isinstance(t, ast.Name)}
+        if not (targets & _MUTATION_TABLE_NAMES) or not isinstance(node.value, ast.Dict):
+            return []
+        findings = []
+        for key in node.value.keys:
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            if key.value in CANONICAL_FRAME_FIELDS:
+                continue
+            findings.append(
+                LintFinding(
+                    rule="C204",
+                    severity=Severity.ERROR,
+                    path=source.rel,
+                    line=key.lineno,
+                    col=key.col_offset,
+                    message=f"mutation table targets unknown frame field {key.value!r}",
+                    hint=f"canonical fields: {', '.join(sorted(CANONICAL_FRAME_FIELDS))}",
+                )
+            )
+        return findings
+
+    # -- C203 ------------------------------------------------------------------
+
+    def _unreachable(self, selected, registry, referenced: Set[int]) -> List[LintFinding]:
+        findings = []
+        anchor = selected[0] if selected else None
+        for cls_id in registry.controller_relevant_ids():
+            if cls_id in referenced:
+                continue
+            cls = registry.get(cls_id)
+            findings.append(
+                LintFinding(
+                    rule="C203",
+                    severity=Severity.ERROR,
+                    path=anchor.rel if anchor else "<registry>",
+                    line=1,
+                    col=0,
+                    message=(
+                        f"registry class {cls.name} (0x{cls_id:02X}) is "
+                        "controller-relevant but never dispatched"
+                    ),
+                    hint="add a handler or a generic registry.get dispatch path",
+                )
+            )
+        return findings

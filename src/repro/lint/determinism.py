@@ -1,0 +1,226 @@
+"""Determinism lint: no stray entropy or wall-clock reads in ``src/repro``.
+
+PR 1's parallel executor promises byte-identical output for any worker
+count, which only holds while every random draw and every timestamp flows
+through the seeded ``random.Random`` instances and the simulated
+:class:`~repro.radio.clock.SimClock` that the testbed plumbs through the
+stack.  One ``random.random()`` or ``time.time()`` call anywhere in a
+campaign's code path silently breaks seed-stable trial sharding — the
+exact class of drift this rule family makes machine-checked.
+
+Rules
+=====
+
+``D101``
+    Call to a process-global entropy or wall-clock source: the
+    module-level ``random.*`` functions (which share one hidden unseeded
+    generator), ``time.time``/``monotonic``/``perf_counter``,
+    ``datetime.now``/``utcnow``/``today``, ``os.urandom``,
+    ``uuid.uuid1``/``uuid4`` and anything in ``secrets``.
+
+``D102``
+    Construction of an unseeded generator: ``random.Random()`` with no
+    seed argument, or ``random.SystemRandom(...)`` (OS entropy is never
+    reproducible, seeded or not).
+
+``D103``
+    Iteration directly over an unordered set expression (a set literal,
+    set comprehension or ``set(...)``/``frozenset(...)`` call) in a
+    ``for`` loop or comprehension.  Set iteration order depends on the
+    interpreter's hash seed, so anything it feeds — output, accumulation,
+    scheduling — can differ between runs; wrap the expression in
+    ``sorted(...)``.
+
+Modules that *own* entropy (the allowlist) are exempt from D101/D102;
+everything else must take a ``random.Random`` from its caller or seed its
+fallback explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional
+
+from .base import Analyzer, SourceFile, dotted_name
+from .findings import LintFinding, Severity
+
+#: Modules (posix paths relative to the linted root) allowed to touch
+#: process-global entropy/time sources.  ``radio/clock.py`` is the
+#: designated time owner; it is currently pure, but the slot is reserved
+#: so wall-clock instrumentation lands there and nowhere else.
+DEFAULT_ENTROPY_OWNERS: FrozenSet[str] = frozenset({"radio/clock.py"})
+
+#: Module-level ``random`` functions sharing the hidden global generator.
+_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Wall-clock reads (``time.sleep`` is excluded: it delays, it does not
+#: produce a value that can leak into output).
+_TIME_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+_UUID_FUNCS = frozenset({"uuid1", "uuid4"})
+
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted origins for relevant modules."""
+    interesting = {"random", "time", "datetime", "os", "uuid", "secrets"}
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.name.split(".")[0] in interesting:
+                    aliases[name.asname or name.name.split(".")[0]] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.split(".")[0] not in interesting:
+                continue
+            for name in node.names:
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+class DeterminismAnalyzer(Analyzer):
+    """Flag entropy/wall-clock leaks and unordered-set iteration."""
+
+    name = "determinism"
+    rules = {
+        "D101": "call to a process-global entropy or wall-clock source",
+        "D102": "unseeded random.Random() / any random.SystemRandom construction",
+        "D103": "iteration over an unordered set expression (wrap in sorted())",
+    }
+
+    def __init__(self, entropy_owners: FrozenSet[str] = DEFAULT_ENTROPY_OWNERS):
+        self._entropy_owners = frozenset(entropy_owners)
+
+    def analyze(self, sources: List[SourceFile]) -> List[LintFinding]:
+        """Scan every source for entropy, clock and set-order violations."""
+        findings: List[LintFinding] = []
+        for source in sources:
+            exempt = source.rel in self._entropy_owners
+            aliases = _import_aliases(source.tree)
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Call) and not exempt:
+                    findings.extend(self._check_call(source, node, aliases))
+                findings.extend(self._check_set_iteration(source, node))
+        return findings
+
+    # -- D101/D102 -------------------------------------------------------------
+
+    def _resolve(self, node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+        """Canonical dotted origin of a call target, through import aliases."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = aliases.get(head)
+        if origin is None:
+            return None
+        return f"{origin}.{rest}" if rest else origin
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, aliases: Dict[str, str]
+    ) -> List[LintFinding]:
+        origin = self._resolve(node.func, aliases)
+        if origin is None:
+            return []
+        violation: Optional[str] = None
+        rule = "D101"
+        hint = "draw from the seeded random.Random plumbed through the testbed"
+        module, _, func = origin.rpartition(".")
+        if origin == "random.Random" or origin.endswith("random.Random"):
+            if not node.args and not node.keywords:
+                rule = "D102"
+                violation = "unseeded random.Random() construction"
+                hint = "pass a seed (e.g. random.Random(0)) or require rng from the caller"
+        elif func == "SystemRandom" and module.endswith("random"):
+            rule = "D102"
+            violation = "random.SystemRandom draws OS entropy"
+            hint = "use the seeded random.Random plumbed through the testbed"
+        elif module == "random" and func in _RANDOM_FUNCS:
+            violation = f"random.{func}() uses the shared unseeded global generator"
+        elif module == "time" and func in _TIME_FUNCS:
+            violation = f"time.{func}() reads the wall clock"
+            hint = "use the simulated SimClock (repro.radio.clock)"
+        elif func in _DATETIME_FUNCS and module.split(".")[-1] in ("datetime", "date"):
+            violation = f"{module}.{func}() reads the wall clock"
+            hint = "use the simulated SimClock (repro.radio.clock)"
+        elif origin == "os.urandom":
+            violation = "os.urandom() draws OS entropy"
+        elif module == "uuid" and func in _UUID_FUNCS:
+            violation = f"uuid.{func}() is nondeterministic"
+        elif module == "secrets" or origin.startswith("secrets."):
+            violation = f"{origin}() draws OS entropy"
+        if violation is None:
+            return []
+        return [
+            LintFinding(
+                rule=rule,
+                severity=Severity.ERROR,
+                path=source.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=violation,
+                hint=hint,
+            )
+        ]
+
+    # -- D103 ------------------------------------------------------------------
+
+    def _is_set_expression(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return dotted_name(node.func) in _SET_BUILTINS
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self._is_set_expression(node.left) or self._is_set_expression(node.right)
+        return False
+
+    def _check_set_iteration(self, source: SourceFile, node: ast.AST) -> List[LintFinding]:
+        iters: List[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        findings = []
+        for candidate in iters:
+            if self._is_set_expression(candidate):
+                findings.append(
+                    LintFinding(
+                        rule="D103",
+                        severity=Severity.ERROR,
+                        path=source.rel,
+                        line=candidate.lineno,
+                        col=candidate.col_offset,
+                        message="iteration over an unordered set expression",
+                        hint="wrap the expression in sorted() to fix the order",
+                    )
+                )
+        return findings

@@ -1,0 +1,106 @@
+"""The structured finding model shared by every analyzer.
+
+A finding pinpoints one violation: rule id, severity, ``path:line:col``
+location, human message and a fix hint.  Findings render both as
+compiler-style text and as machine-readable JSON (schema below), and the
+JSON layout is covered by a golden-file test so downstream tooling can
+rely on it.
+
+JSON schema (``SCHEMA_VERSION`` 1)::
+
+    {
+      "schema": "zcover-lint-findings",
+      "version": 1,
+      "errors": <int>,          # findings with severity "error"
+      "warnings": <int>,        # findings with severity "warning"
+      "findings": [
+        {
+          "rule": "D102",
+          "severity": "error",
+          "path": "security/s0.py",     # posix path relative to the root
+          "line": 83,                   # 1-based
+          "col": 27,                    # 0-based, as reported by ast
+          "message": "...",
+          "hint": "..."                 # may be empty
+        },
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+#: Bumped on any incompatible change to the JSON layout documented above.
+SCHEMA_VERSION = 1
+
+
+class Severity(Enum):
+    """How bad a finding is; only errors fail the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str  # posix path relative to the linted root
+    line: int  # 1-based
+    col: int  # 0-based (ast convention)
+    message: str
+    hint: str = ""
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """Compiler-style one-liner (plus an indented hint when present)."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} " f"{self.severity.value}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        """The finding as one entry of the documented JSON schema."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def findings_to_document(findings: List[LintFinding]) -> Dict:
+    """Reduce *findings* to the documented JSON structure (schema v1)."""
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    return {
+        "schema": "zcover-lint-findings",
+        "version": SCHEMA_VERSION,
+        "errors": sum(1 for f in ordered if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in ordered if f.severity is Severity.WARNING),
+        "findings": [f.to_dict() for f in ordered],
+    }
+
+
+def render_findings(findings: List[LintFinding]) -> str:
+    """Human-readable report: one block per finding plus a summary line."""
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    lines = [f.render() for f in ordered]
+    errors = sum(1 for f in ordered if f.severity is Severity.ERROR)
+    warnings = len(ordered) - errors
+    if ordered:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Orchestration: collect sources, run every analyzer, report.
+
+``run_lint()`` is the single entry point used by both ``zcover lint``
+and the test suite.  The default root is the installed ``repro`` package
+itself, so the gate always inspects the code that is actually running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from .base import Analyzer, apply_suppressions, collect_sources
+from .findings import (
+    LintFinding,
+    Severity,
+    findings_to_document,
+    render_findings,
+)
+
+
+def default_analyzers(registry=None) -> List[Analyzer]:
+    """The three rule families, in reporting order."""
+    from .conformance import ConformanceAnalyzer
+    from .determinism import DeterminismAnalyzer
+    from .wiresafety import WireSafetyAnalyzer
+
+    return [
+        DeterminismAnalyzer(),
+        ConformanceAnalyzer(registry=registry),
+        WireSafetyAnalyzer(),
+    ]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over one source root."""
+
+    root: Path
+    findings: List[LintFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero iff any ERROR-severity finding survived suppression."""
+        return 1 if self.errors else 0
+
+    def to_document(self) -> dict:
+        return findings_to_document(self.findings)
+
+    def render(self) -> str:
+        return render_findings(self.findings)
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    analyzers: Optional[List[Analyzer]] = None,
+    registry=None,
+) -> LintReport:
+    """Lint every ``*.py`` under *root* (default: the ``repro`` package)."""
+    if root is None:
+        root = Path(__file__).resolve().parents[1]
+    root = Path(root)
+    sources = collect_sources(root)
+    if analyzers is None:
+        analyzers = default_analyzers(registry=registry)
+    findings: List[LintFinding] = []
+    for analyzer in analyzers:
+        findings.extend(analyzer.analyze(sources))
+    findings = apply_suppressions(findings, sources)
+    findings.sort(key=lambda f: f.sort_key)
+    return LintReport(root=root, findings=findings)

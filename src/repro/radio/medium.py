@@ -95,7 +95,7 @@ class RadioMedium:
         matches the CSMA behaviour of real Z-Wave radios closely enough
         for every experiment."""
         self._clock = clock
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self._endpoints: Dict[str, _Endpoint] = {}
         self._noise_bit_rate = noise_bit_rate
         self._bit_accurate = bit_accurate or noise_bit_rate > 0.0

@@ -80,7 +80,7 @@ class S0Context:
         self._enc_key, self._auth_key = derive_s0_keys(network_key)
         self._cipher = AES128(self._enc_key)
         self._auth = AES128(self._auth_key)
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self._issued: Dict[int, bytes] = {}
 
     # -- nonce management -----------------------------------------------------

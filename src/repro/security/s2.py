@@ -128,7 +128,7 @@ class S2Context:
     def __init__(self, network_key: bytes, node_id: int, rng: Optional[random.Random] = None):
         self._keys: ExpandedKeys = ckdf_expand(network_key)
         self._node_id = node_id
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self._spans: Dict[Tuple[int, int], SpanState] = {}
         self._pending_entropy: Dict[int, bytes] = {}
         self._seq = 0
@@ -212,7 +212,7 @@ class S2Bootstrap:
     """
 
     def __init__(self, rng: Optional[random.Random] = None):
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self._private = bytes(self._rng.randrange(256) for _ in range(32))
         self.public = public_key(self._private)
 
@@ -233,5 +233,5 @@ class S2Bootstrap:
 
 def generate_network_key(rng: Optional[random.Random] = None) -> bytes:
     """Generate a random 16-byte S2 network key."""
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     return bytes(rng.randrange(256) for _ in range(16))

@@ -47,11 +47,6 @@ from .transport import S0Messaging, S2Messaging
 from .vulnerabilities import (
     EffectType,
     MacQuirk,
-    OP_INSERT,
-    OP_MODIFY,
-    OP_OVERWRITE,
-    OP_REMOVE,
-    OP_WAKEUP_CLEAR,
     TriggerContext,
     Vulnerability,
     ZERO_DAYS,
@@ -120,7 +115,7 @@ class VirtualController:
         self.host = host
         self.nvm = NodeTable(own_node_id=node_id)
         self.stats = ControllerStats()
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self._hang_until = 0.0
         self._powered = True
         self._sequence = 0

@@ -104,7 +104,7 @@ class InclusionCeremony:
         self._controller = controller
         self._medium = medium
         self._clock = clock
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self._frames = 0
         self._transcript: List[str] = []
 

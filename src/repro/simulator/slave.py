@@ -15,7 +15,6 @@ from ..errors import FrameError
 from ..radio.clock import SimClock
 from ..radio.medium import RadioMedium, Reception
 from ..security.s2 import S2Context
-from ..zwave.application import ApplicationPayload as _AP
 from ..zwave import constants as const
 from ..zwave.application import ApplicationPayload
 from ..zwave.constants import Region
@@ -52,7 +51,7 @@ class VirtualSlave:
         self.controller_id = controller_id
         self._clock = clock
         self._medium = medium
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self._sequence = 0
         self._report_interval: Optional[float] = None
         self.frames_received = 0
@@ -223,7 +222,7 @@ class VirtualDoorLock(VirtualSlave):
         """Someone turns the thumb-turn: state change + notification."""
         self._set_locked(locked, remote=False)
 
-    def _handle_inner(self, src: int, inner: _AP) -> None:
+    def _handle_inner(self, src: int, inner: ApplicationPayload) -> None:
         """A decapsulated command operates the lock; replies go back S2."""
         if inner.cmdcl == 0x62:
             if inner.cmd == 0x01 and inner.params:

@@ -1,0 +1,34 @@
+"""Synthetic violations covering every rule family (golden-file fixture).
+
+This module is linted by tests/test_lint_cli.py with ``zcover lint
+--format json``; the output is compared byte-for-byte (as parsed JSON)
+against tests/data/lint_golden.json.  Keep it stable: any edit here must
+regenerate the golden file.
+"""
+
+import time
+from dataclasses import dataclass
+from typing import Any, List
+
+FIELD_OPERATORS = {"CMDCL": None, "BOGUS": None}
+
+
+@dataclass
+class WirePacket:
+    payload: List[int]
+    raw: Any
+
+
+def dispatch(registry, payload):
+    registry.get(payload.cmdcl)
+    if payload.cmdcl == 0xEE and payload.cmd == 0x01:
+        return time.time()
+    return [x for x in {3, 1, 2}]
+
+
+def suppressed():
+    return time.time()  # lint: allow[D101] -- fixture for justified suppression
+
+
+def unjustified():
+    return time.time()  # lint: allow[D101]

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.errors import CampaignError, FuzzerError
-from repro.core.baseline import VFuzzBaseline, VFuzzConfig
+from repro.core.baseline import VFuzzBaseline
 from repro.core.campaign import (
-    HOUR,
     Mode,
     build_queue,
     run_campaign,

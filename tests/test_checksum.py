@@ -1,6 +1,5 @@
 """Unit and property tests for the CS-8 and CRC-16 integrity checks."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.zwave.checksum import crc16, cs8, verify_crc16, verify_cs8

@@ -1,6 +1,5 @@
 """Tests for the virtual controller firmware."""
 
-import pytest
 
 from repro.simulator.host import HostState
 from repro.simulator.memory import NodeTable

@@ -1,6 +1,5 @@
 """Tests for the device-class taxonomy."""
 
-import pytest
 
 from repro.zwave.devclass import (
     BASIC_CLASS_NAMES,

@@ -1,8 +1,7 @@
 """Tests for the plaintext transport encapsulations (0x6C/0x56/0x60)."""
 
-import pytest
 
-from repro.simulator.testbed import LOCK_NODE_ID, build_sut
+from repro.simulator.testbed import LOCK_NODE_ID
 from repro.zwave.checksum import crc16
 from repro.zwave.frame import ZWaveFrame
 

@@ -18,7 +18,6 @@ from repro.radio.clock import SimClock
 from repro.radio.medium import RadioMedium
 from repro.radio.transceiver import Transceiver
 from repro.simulator.testbed import LISTED_15, LISTED_17, build_sut
-from repro.zwave.constants import Region
 
 
 class TestPassiveScanner:

@@ -13,7 +13,6 @@ from repro.core.fuzzer import (
 from repro.core.mutation import PositionSensitiveMutator, RandomMutator
 from repro.core.tester import PacketTester
 from repro.core.monitor import ObservedKind
-from repro.simulator.testbed import build_sut
 from repro.zwave.registry import load_full_registry
 
 

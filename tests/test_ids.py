@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.ids import Alert, AlertKind, TrafficModel, ZWaveIDS
+from repro.analysis.ids import AlertKind, ZWaveIDS
 from repro.zwave.frame import ZWaveFrame
 
 HOME = 0xE7DE3F3D

@@ -1,0 +1,132 @@
+"""CLI-level tests for `zcover lint`: exit codes, JSON schema, golden file."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import SCHEMA_VERSION, run_lint
+
+DATA = Path(__file__).resolve().parent / "data"
+FIXTURE = DATA / "lint_fixture"
+GOLDEN = DATA / "lint_golden.json"
+
+
+def run_cli(capsys, *argv):
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+class TestRealTree:
+    def test_repo_is_clean(self):
+        # The acceptance bar: the shipped tree has zero findings.
+        report = run_lint()
+        assert report.findings == []
+        assert report.exit_code == 0
+
+    def test_cli_exit_zero(self, capsys):
+        code, out = run_cli(capsys)
+        assert code == 0
+        assert "no findings" in out
+
+
+class TestGoldenFile:
+    def test_json_output_matches_golden(self, capsys):
+        code, out = run_cli(capsys, "--root", str(FIXTURE), "--format", "json")
+        assert code == 1
+        produced = json.loads(out)
+        expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert produced == expected
+
+    def test_schema_envelope(self, capsys):
+        _, out = run_cli(capsys, "--root", str(FIXTURE), "--format", "json")
+        doc = json.loads(out)
+        assert doc["schema"] == "zcover-lint-findings"
+        assert doc["version"] == SCHEMA_VERSION
+        assert doc["errors"] == sum(
+            1 for f in doc["findings"] if f["severity"] == "error"
+        )
+        assert doc["warnings"] == sum(
+            1 for f in doc["findings"] if f["severity"] == "warning"
+        )
+        for f in doc["findings"]:
+            assert set(f) == {
+                "rule", "severity", "path", "line", "col", "message", "hint"
+            }
+
+    def test_findings_sorted(self, capsys):
+        _, out = run_cli(capsys, "--root", str(FIXTURE), "--format", "json")
+        doc = json.loads(out)
+        keys = [(f["path"], f["line"], f["col"], f["rule"]) for f in doc["findings"]]
+        assert keys == sorted(keys)
+
+
+class TestSeededViolationsPerFamily:
+    """Each rule family independently forces a non-zero exit."""
+
+    GENERIC = "def g(registry, p):\n    registry.get(p.cmdcl)\n"
+
+    def check(self, capsys, tmp_path, text, expected_rule):
+        (tmp_path / "mod.py").write_text(text, encoding="utf-8")
+        code, out = run_cli(capsys, "--root", str(tmp_path), "--format", "json")
+        assert code == 1
+        doc = json.loads(out)
+        assert expected_rule in {f["rule"] for f in doc["findings"]}
+
+    def test_determinism(self, capsys, tmp_path):
+        self.check(
+            capsys, tmp_path,
+            self.GENERIC + "import random\nx = random.random()\n",
+            "D101",
+        )
+
+    def test_conformance(self, capsys, tmp_path):
+        self.check(
+            capsys, tmp_path,
+            self.GENERIC + "def h(p):\n    return p.cmdcl == 0xEE\n",
+            "C201",
+        )
+
+    def test_wire_safety(self, capsys, tmp_path):
+        self.check(
+            capsys, tmp_path,
+            self.GENERIC
+            + "from dataclasses import dataclass\n"
+            + "from typing import Any\n"
+            + "@dataclass\nclass P:\n    x: Any\n",
+            "W301",
+        )
+
+
+class TestSuppressions:
+    def test_justified_allow_is_silent(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "def g(registry, p):\n"
+            "    registry.get(p.cmdcl)\n"
+            "import time\n"
+            "t = time.time()  # lint: allow[D101] -- test fixture\n",
+            encoding="utf-8",
+        )
+        code, out = run_cli(capsys, "--root", str(tmp_path))
+        assert code == 0
+        assert "no findings" in out
+
+    def test_unjustified_allow_warns_but_passes(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "def g(registry, p):\n"
+            "    registry.get(p.cmdcl)\n"
+            "import time\n"
+            "t = time.time()  # lint: allow[D101]\n",
+            encoding="utf-8",
+        )
+        code, out = run_cli(capsys, "--root", str(tmp_path))
+        assert code == 0
+        assert "LINT001" in out
+
+
+class TestRulesListing:
+    def test_lists_every_family(self, capsys):
+        code, out = run_cli(capsys, "--rules")
+        assert code == 0
+        for rule in ("D101", "D102", "D103", "C201", "C202", "C203", "C204",
+                     "W301", "W302"):
+            assert rule in out

@@ -1,0 +1,138 @@
+"""Unit tests for the determinism rule family (D101/D102/D103)."""
+
+import ast
+from pathlib import Path
+
+from repro.lint.base import SourceFile
+from repro.lint.determinism import DeterminismAnalyzer
+from repro.lint.findings import Severity
+
+
+def make_source(text, rel="mod.py"):
+    return SourceFile(
+        path=Path(rel), rel=rel, text=text, tree=ast.parse(text),
+        lines=text.splitlines(),
+    )
+
+
+def lint(text, rel="mod.py", **kwargs):
+    return DeterminismAnalyzer(**kwargs).analyze([make_source(text, rel)])
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestD101GlobalEntropy:
+    def test_module_level_random_call(self):
+        findings = lint("import random\nx = random.random()\n")
+        assert rules(findings) == ["D101"]
+        assert findings[0].line == 2
+        assert findings[0].severity is Severity.ERROR
+
+    def test_many_random_functions(self):
+        text = (
+            "import random\n"
+            "a = random.randint(0, 7)\n"
+            "b = random.choice([1, 2])\n"
+            "random.shuffle([])\n"
+            "random.seed(4)\n"
+        )
+        assert rules(lint(text)) == ["D101"] * 4
+
+    def test_aliased_import(self):
+        findings = lint("import random as rnd\nx = rnd.random()\n")
+        assert rules(findings) == ["D101"]
+
+    def test_from_import(self):
+        findings = lint("from random import randint\nx = randint(1, 2)\n")
+        assert rules(findings) == ["D101"]
+
+    def test_time_reads(self):
+        text = "import time\nt = time.time()\nm = time.monotonic()\n"
+        assert rules(lint(text)) == ["D101", "D101"]
+
+    def test_time_sleep_is_fine(self):
+        assert lint("import time\ntime.sleep(1)\n") == []
+
+    def test_datetime_now(self):
+        text = "import datetime\nn = datetime.datetime.now()\n"
+        assert rules(lint(text)) == ["D101"]
+
+    def test_datetime_class_import(self):
+        text = "from datetime import datetime\nn = datetime.utcnow()\n"
+        assert rules(lint(text)) == ["D101"]
+
+    def test_os_urandom(self):
+        assert rules(lint("import os\nk = os.urandom(16)\n")) == ["D101"]
+
+    def test_uuid4(self):
+        assert rules(lint("import uuid\nu = uuid.uuid4()\n")) == ["D101"]
+
+    def test_secrets(self):
+        assert rules(lint("import secrets\nt = secrets.token_bytes(8)\n")) == ["D101"]
+
+    def test_plumbed_rng_is_fine(self):
+        text = "def f(rng):\n    return rng.random() + rng.randint(0, 5)\n"
+        assert lint(text) == []
+
+    def test_unrelated_module_same_function_name(self):
+        # `foo.random()` where foo is not the random module must not fire.
+        assert lint("import json\nx = json.random()\n") == []
+
+
+class TestD102UnseededConstruction:
+    def test_unseeded_random(self):
+        findings = lint("import random\nr = random.Random()\n")
+        assert rules(findings) == ["D102"]
+
+    def test_seeded_random_is_fine(self):
+        assert lint("import random\nr = random.Random(0)\n") == []
+
+    def test_from_import_random_class(self):
+        assert rules(lint("from random import Random\nr = Random()\n")) == ["D102"]
+
+    def test_system_random_even_with_args(self):
+        findings = lint("import random\nr = random.SystemRandom(1)\n")
+        assert rules(findings) == ["D102"]
+
+
+class TestD103SetIteration:
+    def test_for_over_set_literal(self):
+        assert rules(lint("for x in {3, 1, 2}:\n    print(x)\n")) == ["D103"]
+
+    def test_for_over_set_call(self):
+        assert rules(lint("for x in set([1, 2]):\n    print(x)\n")) == ["D103"]
+
+    def test_comprehension_over_frozenset(self):
+        text = "out = [x for x in frozenset((1, 2))]\n"
+        assert rules(lint(text)) == ["D103"]
+
+    def test_for_over_set_union(self):
+        text = "a = {1}\nb = {2}\nfor x in a | {3}:\n    print(x)\n"
+        assert rules(lint(text)) == ["D103"]
+
+    def test_sorted_wrapping_is_fine(self):
+        assert lint("for x in sorted({3, 1, 2}):\n    print(x)\n") == []
+
+    def test_membership_test_is_fine(self):
+        assert lint("ok = 3 in {1, 2, 3}\n") == []
+
+    def test_list_iteration_is_fine(self):
+        assert lint("for x in [3, 1, 2]:\n    print(x)\n") == []
+
+
+class TestEntropyOwnerAllowlist:
+    def test_owner_module_exempt_from_d101_d102(self):
+        text = "import random\nr = random.Random()\nx = random.random()\n"
+        findings = lint(text, rel="radio/clock.py")
+        assert findings == []
+
+    def test_owner_module_still_subject_to_d103(self):
+        text = "for x in {1, 2}:\n    print(x)\n"
+        assert rules(lint(text, rel="radio/clock.py")) == ["D103"]
+
+    def test_custom_owner_set(self):
+        text = "import random\nx = random.random()\n"
+        findings = lint(text, rel="mine.py", entropy_owners=frozenset({"mine.py"}))
+        assert findings == []

@@ -1,0 +1,202 @@
+"""Unit tests for the wire-safety rule family (W301/W302)."""
+
+import ast
+from pathlib import Path
+
+from repro.lint.base import SourceFile, collect_sources
+from repro.lint.wiresafety import WireSafetyAnalyzer
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+HEADER = "from dataclasses import dataclass\nfrom typing import *\n"
+
+
+def make_source(text, rel="mod.py"):
+    return SourceFile(
+        path=Path(rel), rel=rel, text=text, tree=ast.parse(text),
+        lines=text.splitlines(),
+    )
+
+
+def lint(*sources, **kwargs):
+    analyzer = WireSafetyAnalyzer(**kwargs)
+    return analyzer.analyze([make_source(text, rel) for rel, text in sources])
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestSyntheticDataclasses:
+    """Without core/resultio.py every module-level dataclass is a root."""
+
+    def test_clean_dataclass_passes(self):
+        text = HEADER + (
+            "@dataclass\n"
+            "class P:\n"
+            "    a: int\n"
+            "    b: Optional[str]\n"
+            "    c: List[bytes]\n"
+            "    d: Dict[str, float]\n"
+            "    e: Tuple[int, ...]\n"
+            "    f: FrozenSet[int]\n"
+            "    g: bool = True\n"
+        )
+        assert lint(("mod.py", text)) == []
+
+    def test_any_flagged(self):
+        text = HEADER + "@dataclass\nclass P:\n    x: Any\n"
+        findings = lint(("mod.py", text))
+        assert rules(findings) == ["W301"]
+        assert "'x'" in findings[0].message
+
+    def test_object_inside_container_flagged(self):
+        text = HEADER + "@dataclass\nclass P:\n    x: List[object]\n"
+        assert rules(lint(("mod.py", text))) == ["W301"]
+
+    def test_unknown_name_flagged(self):
+        text = HEADER + "@dataclass\nclass P:\n    x: Mystery\n"
+        findings = lint(("mod.py", text))
+        assert rules(findings) == ["W302"]
+        assert "Mystery" in findings[0].message
+
+    def test_nested_dataclass_checked_recursively(self):
+        text = HEADER + (
+            "@dataclass\n"
+            "class Inner:\n"
+            "    bad: Any\n"
+            "@dataclass\n"
+            "class Outer:\n"
+            "    inner: List[Inner]\n"
+        )
+        findings = lint(("mod.py", text))
+        # Inner is reported once even though it is both a root and nested.
+        assert rules(findings) == ["W301"]
+        assert "Inner" in findings[0].message
+
+    def test_enum_field_passes(self):
+        text = HEADER + (
+            "from enum import Enum\n"
+            "class Kind(Enum):\n"
+            "    A = 'a'\n"
+            "@dataclass\n"
+            "class P:\n"
+            "    kind: Kind\n"
+        )
+        assert lint(("mod.py", text)) == []
+
+    def test_plain_class_field_flagged(self):
+        text = HEADER + (
+            "class Opaque:\n"
+            "    pass\n"
+            "@dataclass\n"
+            "class P:\n"
+            "    o: Opaque\n"
+        )
+        findings = lint(("mod.py", text))
+        assert rules(findings) == ["W301"]
+        assert "no wire codec" in findings[0].message
+
+    def test_known_codec_class_passes(self):
+        text = HEADER + (
+            "class Opaque:\n"
+            "    pass\n"
+            "@dataclass\n"
+            "class P:\n"
+            "    o: Opaque\n"
+        )
+        findings = lint(("mod.py", text), known_codecs=frozenset({"Opaque"}))
+        assert findings == []
+
+    def test_alias_resolution(self):
+        text = HEADER + (
+            "Signature = Tuple[int, str, Optional[int]]\n"
+            "@dataclass\n"
+            "class P:\n"
+            "    sig: Signature\n"
+        )
+        assert lint(("mod.py", text)) == []
+
+    def test_bad_alias_flagged(self):
+        text = HEADER + (
+            "Blob = Dict[str, Any]\n"
+            "@dataclass\n"
+            "class P:\n"
+            "    blob: Blob\n"
+        )
+        assert rules(lint(("mod.py", text))) == ["W301"]
+
+    def test_forward_reference_string(self):
+        text = HEADER + (
+            "@dataclass\n"
+            "class P:\n"
+            "    x: 'List[Any]'\n"
+        )
+        assert rules(lint(("mod.py", text))) == ["W301"]
+
+    def test_classvar_ignored(self):
+        text = HEADER + (
+            "@dataclass\n"
+            "class P:\n"
+            "    registry: ClassVar[Any] = None\n"
+            "    x: int = 0\n"
+        )
+        assert lint(("mod.py", text)) == []
+
+
+class TestRootDiscovery:
+    """With core/resultio.py present, its module-level imports are roots."""
+
+    RESULTIO = (
+        "import json\n"
+        "from .models import Wire\n"
+        "def save(x):\n"
+        "    from .models import Local\n"
+        "    return Local\n"
+    )
+    MODELS = HEADER + (
+        "@dataclass\n"
+        "class Wire:\n"
+        "    a: int\n"
+        "@dataclass\n"
+        "class Local:\n"
+        "    bad: Any\n"
+    )
+
+    def test_only_module_level_imports_are_roots(self):
+        findings = lint(
+            ("core/resultio.py", self.RESULTIO), ("models.py", self.MODELS)
+        )
+        # Local (with its Any field) is imported inside a function, so it
+        # is not part of the wire vocabulary and must not be flagged.
+        assert findings == []
+
+    def test_module_level_import_is_checked(self):
+        resultio = "from .models import Wire, Local\n"
+        findings = lint(
+            ("core/resultio.py", resultio), ("models.py", self.MODELS)
+        )
+        assert rules(findings) == ["W301"]
+
+    def test_stdlib_imports_ignored(self):
+        resultio = "import json\nfrom typing import Any\nfrom .models import Wire\n"
+        findings = lint(
+            ("core/resultio.py", resultio), ("models.py", self.MODELS)
+        )
+        assert findings == []
+
+
+class TestRealTree:
+    def test_wire_vocabulary_is_clean(self):
+        sources = collect_sources(SRC_ROOT)
+        assert WireSafetyAnalyzer().analyze(sources) == []
+
+    def test_real_roots_are_nontrivial(self):
+        # Guard against silent no-op: the resultio vocabulary must be found.
+        analyzer = WireSafetyAnalyzer()
+        sources = collect_sources(SRC_ROOT)
+        index, _aliases, _functions = analyzer._build_index(sources)
+        roots = analyzer._wire_roots(sources, index)
+        assert {"FuzzResult", "CampaignResult", "VFuzzResult", "BugLog"}.issubset(
+            set(roots)
+        )

@@ -1,9 +1,7 @@
 """Tests for the lock's access-control notifications (class 0x71)."""
 
-import pytest
 
-from repro.simulator.host import HostKind
-from repro.simulator.testbed import LOCK_NODE_ID, build_sut
+from repro.simulator.testbed import LOCK_NODE_ID
 
 
 def host_events(sut):

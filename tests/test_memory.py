@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import NodeMemoryError
-from repro.simulator.memory import MemoryChange, NodeRecord, NodeTable
+from repro.simulator.memory import NodeRecord, NodeTable
 
 
 def record(node_id=2, **kwargs):

@@ -10,7 +10,7 @@ from repro.core.monitor import (
     classify_memory_changes,
 )
 from repro.simulator.memory import NodeRecord, NodeTable
-from repro.simulator.testbed import LOCK_NODE_ID, build_sut
+from repro.simulator.testbed import LOCK_NODE_ID
 from repro.zwave.frame import ZWaveFrame
 
 

@@ -4,7 +4,6 @@ import itertools
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.mutation import (
     FIELD_OPERATORS,

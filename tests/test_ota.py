@@ -11,7 +11,6 @@ from repro.simulator.ota import (
 )
 from repro.simulator.testbed import build_sut
 from repro.zwave.checksum import crc16
-from repro.zwave.frame import ZWaveFrame
 
 SENSOR_ID = 8
 

@@ -7,7 +7,6 @@ import pytest
 from repro.analysis.plot import figure5_svg, figure12_svg, save_svg
 from repro.analysis.summary import campaign_report
 from repro.core.campaign import Mode, run_campaign
-from repro.zwave.registry import load_full_registry
 
 
 @pytest.fixture(scope="module")

@@ -8,14 +8,12 @@ receive paths of every simulated component are total functions.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.mutation import PositionSensitiveMutator, RandomMutator
-from repro.errors import FrameError, RadioError, ReproError
+from repro.errors import FrameError, RadioError
 from repro.radio.signal import decode_phy
 from repro.simulator.testbed import build_sut
-from repro.simulator.transport import S2Messaging
 from repro.zwave.application import ApplicationPayload
 from repro.zwave.frame import ZWaveFrame
 from repro.zwave.registry import load_full_registry

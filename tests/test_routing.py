@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import FrameError
 from repro.simulator.routing import (
-    MAX_REPEATERS,
     MeshRepeater,
     RoutingHeader,
     make_routed_frame,

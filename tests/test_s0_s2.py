@@ -7,7 +7,6 @@ import pytest
 from repro.errors import AuthenticationError, NonceError
 from repro.security.s0 import NONCE_TABLE_SIZE, S0Context, S0Encapsulated, TEMP_KEY
 from repro.security.s2 import (
-    ENTROPY_SIZE,
     S2Bootstrap,
     S2Context,
     S2Encapsulated,

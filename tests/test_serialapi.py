@@ -5,7 +5,6 @@ import pytest
 from repro.errors import SimulatorError
 from repro.simulator.serialapi import (
     ACK,
-    FUNC_GET_INIT_DATA,
     FUNC_GET_VERSION,
     NAK,
     SerialFrame,
@@ -16,7 +15,7 @@ from repro.simulator.serialapi import (
     _split_stream,
     attach_pc_controller,
 )
-from repro.simulator.testbed import LOCK_NODE_ID, SWITCH_NODE_ID, build_sut
+from repro.simulator.testbed import LOCK_NODE_ID, SWITCH_NODE_ID
 from repro.zwave.frame import ZWaveFrame
 
 

@@ -6,8 +6,6 @@ from repro.errors import UnknownCommandClassError, UnknownCommandError
 from repro.zwave.cmdclass import Cluster
 from repro.zwave.registry import (
     SpecRegistry,
-    load_full_registry,
-    load_public_registry,
     proprietary_class_ids,
 )
 from repro.zwave.spec_data import PUBLIC_SPEC_CLASS_COUNT

@@ -1,6 +1,5 @@
 """Tests for the controller's stateful ASSOCIATION/CONFIGURATION handlers."""
 
-import pytest
 
 from repro.zwave.frame import ZWaveFrame
 

@@ -1,11 +1,9 @@
 """Tests for crash triage and payload minimisation."""
 
-import pytest
 
 from repro.analysis.triage import (
     CrashTriage,
     PayloadMinimizer,
-    TriagedBug,
     render_triage_report,
 )
 from repro.core.buglog import BugLog, BugRecord

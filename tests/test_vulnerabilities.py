@@ -5,7 +5,6 @@ import pytest
 from repro.simulator.vulnerabilities import (
     CMDCL_0X01_BUG_IDS,
     DEVICE_MAC_QUIRKS,
-    EffectType,
     MAC_QUIRK_CATALOG,
     RootCause,
     TriggerContext,
