@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.baseline import VFuzzResult
 from ..core.campaign import CampaignResult, Mode
 from ..core.properties import ControllerProperties
+from ..obs.metrics import format_frames_per_bug
 from ..simulator.testbed import PROFILES
 from ..simulator.vulnerabilities import ZERO_DAYS
 from ..zwave.registry import SpecRegistry
@@ -163,11 +164,24 @@ def render_table6(results: Dict[Mode, CampaignResult]) -> str:
     rows = []
     for i, mode in enumerate(order, start=1):
         result = results.get(mode)
+        # Efficiency comes from the shared metrics snapshot (the same
+        # definition campaign_report renders), never recomputed locally.
+        if result is None:
+            efficiency = "-"
+        elif result.metrics is None:
+            efficiency = "n/a"
+        else:
+            efficiency = format_frames_per_bug(result.metrics)
         rows.append(
-            (i, labels[mode], result.unique_vulnerabilities if result else "-")
+            (
+                i,
+                labels[mode],
+                result.unique_vulnerabilities if result else "-",
+                efficiency,
+            )
         )
     return render_table(
-        ("Test", "Fuzzing Configuration", "#Vul."),
+        ("Test", "Fuzzing Configuration", "#Vul.", "Pkts/Vul"),
         rows,
         "Table VI: ablation study on ZCover core features",
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.campaign import CampaignResult
+from ..obs.metrics import format_frames_per_bug
 from ..simulator.testbed import PROFILES
 
 
@@ -31,6 +32,12 @@ def campaign_report(result: CampaignResult) -> str:
         f"- coverage: {result.fuzz.cmdcl_coverage} CMDCLs / "
         f"{result.fuzz.cmd_coverage} CMDs"
     )
+    if result.metrics is not None:
+        # Shared definition with render_table6 (repro.obs.metrics), so the
+        # report and the ablation table can never disagree on efficiency.
+        lines.append(
+            f"- frames per unique bug: {format_frames_per_bug(result.metrics)}"
+        )
     lines.append("")
 
     props = result.properties

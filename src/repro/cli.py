@@ -35,6 +35,15 @@ from .core.campaign import HOUR, Mode, run_ablation, run_campaign
 from .core.discovery import discover_unknown_properties
 from .core.fingerprint import fingerprint
 from .core.trials import run_trials
+from .obs.export import (
+    load_document,
+    render_prometheus,
+    render_text,
+    snapshot_to_document,
+    write_document,
+)
+from .obs.metrics import merge_all
+from .obs.tracing import Tracer
 from .radio.trace import dissect_trace, load_trace, save_trace, TraceRecord
 from .simulator.testbed import CONTROLLER_IDS, build_sut
 from .zwave.registry import load_full_registry
@@ -71,6 +80,13 @@ def _resolve_workers_arg(args: argparse.Namespace) -> int:
     from .core.parallel import resolve_workers
 
     return resolve_workers(None) if args.workers == 0 else args.workers
+
+
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        help="write the merged observability metrics (schema-v1 JSON) here",
+    )
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
@@ -136,6 +152,25 @@ def cmd_ablation(args: argparse.Namespace) -> int:
         workers=_resolve_workers_arg(args),
     )
     print(render_table6(results))
+    if args.metrics_out:
+        merged = merge_all(
+            results[mode].metrics
+            for mode in sorted(results, key=lambda m: m.name)
+            if results[mode].metrics is not None
+        )
+        write_document(
+            snapshot_to_document(
+                merged,
+                meta={
+                    "kind": "ablation",
+                    "device": args.device,
+                    "duration_s": args.hours * HOUR,
+                    "modes": len(results),
+                },
+            ),
+            args.metrics_out,
+        )
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -168,6 +203,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 device=device, mode=Mode.FULL, duration=duration, seed=args.seed
             )
     print(render_table5(vfuzz_results, zcover_results))
+    if args.metrics_out:
+        snapshots = []
+        for device in sorted(set(vfuzz_results) | set(zcover_results)):
+            for mapping in (vfuzz_results, zcover_results):
+                result = mapping.get(device)
+                if result is not None and result.metrics is not None:
+                    snapshots.append(result.metrics)
+        write_document(
+            snapshot_to_document(
+                merge_all(snapshots),
+                meta={
+                    "kind": "compare",
+                    "devices": ",".join(sorted(set(vfuzz_results) | set(zcover_results))),
+                    "duration_s": duration,
+                },
+            ),
+            args.metrics_out,
+        )
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -323,7 +377,62 @@ def cmd_trials(args: argparse.Namespace) -> int:
         workers=_resolve_workers_arg(args),
     )
     print(summary.render())
+    if args.metrics_out:
+        write_document(summary.metrics_document(), args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 1 if summary.failures else 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect observability metrics: run a campaign or read a document.
+
+    With ``--in`` the document comes from a previous ``--metrics-out``;
+    otherwise one campaign runs here and its snapshot is rendered.
+    """
+    if args.in_path:
+        doc = load_document(args.in_path)
+        tracer = None
+    else:
+        tracer = Tracer()
+        result = run_campaign(
+            device=args.device,
+            mode=_MODES[args.mode],
+            duration=args.hours * HOUR,
+            seed=args.seed,
+            tracer=tracer,
+        )
+        doc = snapshot_to_document(
+            result.metrics,
+            meta={
+                "kind": "campaign",
+                "device": args.device,
+                "mode": _MODES[args.mode].name,
+                "duration_s": args.hours * HOUR,
+                "seed": args.seed,
+            },
+        )
+    if args.format == "json":
+        import json
+
+        rendered = json.dumps(doc, sort_keys=True, indent=2)
+    elif args.format == "prom":
+        rendered = render_prometheus(doc)
+    else:
+        rendered = render_text(doc)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"metrics written to {args.out}")
+    else:
+        print(rendered)
+    if args.trace_out:
+        if tracer is None:
+            print("--trace-out ignored: --in documents carry no spans", file=sys.stderr)
+        else:
+            count = tracer.export_jsonl(args.trace_out)
+            dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+            print(f"{count} spans written to {args.trace_out}{dropped}", file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -354,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(ablation)
     ablation.add_argument("--hours", type=float, default=1.0)
     _add_workers(ablation)
+    _add_metrics_out(ablation)
     ablation.set_defaults(func=cmd_ablation)
 
     compare = sub.add_parser("compare", help="Table V: ZCover vs VFuzz")
@@ -361,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--hours", type=float, default=6.0)
     compare.add_argument("--seed", type=int, default=0)
     _add_workers(compare)
+    _add_metrics_out(compare)
     compare.set_defaults(func=cmd_compare)
 
     table = sub.add_parser("table", help="print a static paper table")
@@ -409,7 +520,22 @@ def build_parser() -> argparse.ArgumentParser:
     trials.add_argument("--trials", type=int, default=5)
     trials.add_argument("--hours", type=float, default=1.0)
     _add_workers(trials)
+    _add_metrics_out(trials)
     trials.set_defaults(func=cmd_trials)
+
+    obs = sub.add_parser("obs", help="observability: metrics + tracing spans")
+    _add_common(obs)
+    obs.add_argument("--mode", choices=sorted(_MODES), default="full")
+    obs.add_argument("--hours", type=float, default=1.0)
+    obs.add_argument(
+        "--in",
+        dest="in_path",
+        help="render an existing --metrics-out document instead of running",
+    )
+    obs.add_argument("--format", choices=("text", "json", "prom"), default="text")
+    obs.add_argument("--out", help="write the rendering here (default: stdout)")
+    obs.add_argument("--trace-out", help="export the span ring as JSON lines here")
+    obs.set_defaults(func=cmd_obs)
 
     lint = sub.add_parser("lint", help="static analysis of the repro source tree")
     lint.add_argument("--format", choices=("text", "json"), default="text")

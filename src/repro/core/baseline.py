@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
 from ..errors import FuzzerError
+from ..obs.metrics import MetricsCollector, MetricsSnapshot, collecting
 from ..simulator.testbed import SystemUnderTest
 from ..zwave.checksum import cs8
 from .monitor import LivenessMonitor, SutObserver
@@ -63,6 +64,7 @@ class VFuzzResult:
     cmdcls_used: Set[int] = field(default_factory=set)
     cmds_used: Set[int] = field(default_factory=set)
     detections: List[Tuple[float, int]] = field(default_factory=list)
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def cmdcl_coverage(self) -> int:
@@ -171,34 +173,41 @@ class VFuzzBaseline:
         if not self._seeds and self.collect_seeds() == 0:
             raise FuzzerError("VFuzz heard no traffic to seed from")
         result = VFuzzResult()
+        collector = MetricsCollector()
         start = self._clock.now
         deadline = start + duration
         index = 0
         seen_quirks: Set[str] = set()
         baseline_events = len(self._sut.controller.events())
-        while self._clock.now < deadline:
-            test_start = self._clock.now
-            # Sweep the full 256 x 256 CMDCL x CMD space (Table V), with the
-            # command class varying fastest so both dimensions reach full
-            # coverage early in the trial.
-            cmdcl = index & 0xFF
-            cmd = (index + (index >> 8)) & 0xFF
-            index += 1
-            seed = self._seeds[index % len(self._seeds)]
-            raw = self._mutate(seed, cmdcl, cmd)
-            result.cmdcls_used.add(cmdcl)
-            result.cmds_used.add(cmd)
-            if self._would_be_accepted(raw):
-                result.accepted_estimate += 1
-            self._sut.dongle.inject_raw(raw)
-            self._clock.advance(self.config.settle_time)
-            result.packets_sent += 1
-            self._check_oracles(result, seen_quirks, baseline_events, start)
-            baseline_events = len(self._sut.controller.events())
-            remaining = self.config.packet_period - (self._clock.now - test_start)
-            if remaining > 0:
-                self._clock.advance(remaining)
+        with collecting(collector):
+            while self._clock.now < deadline:
+                test_start = self._clock.now
+                # Sweep the full 256 x 256 CMDCL x CMD space (Table V), with
+                # the command class varying fastest so both dimensions reach
+                # full coverage early in the trial.
+                cmdcl = index & 0xFF
+                cmd = (index + (index >> 8)) & 0xFF
+                index += 1
+                seed = self._seeds[index % len(self._seeds)]
+                raw = self._mutate(seed, cmdcl, cmd)
+                result.cmdcls_used.add(cmdcl)
+                result.cmds_used.add(cmd)
+                if self._would_be_accepted(raw):
+                    result.accepted_estimate += 1
+                collector.inc("vfuzz.frames_tx")
+                self._sut.dongle.inject_raw(raw)
+                self._clock.advance(self.config.settle_time)
+                result.packets_sent += 1
+                self._check_oracles(result, seen_quirks, baseline_events, start)
+                baseline_events = len(self._sut.controller.events())
+                remaining = self.config.packet_period - (self._clock.now - test_start)
+                if remaining > 0:
+                    self._clock.advance(remaining)
+            collector.inc("vfuzz.accepted_estimate", result.accepted_estimate)
+            collector.inc("vfuzz.findings", result.unique_vulnerabilities)
         result.duration = self._clock.now - start
+        collector.gauge_max("vfuzz.duration_s", result.duration)
+        result.metrics = collector.snapshot()
         return result
 
     def _check_oracles(

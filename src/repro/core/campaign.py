@@ -23,6 +23,13 @@ from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CampaignError
+from ..obs.metrics import (
+    MetricsCollector,
+    MetricsSnapshot,
+    collecting,
+    frames_per_bug,
+)
+from ..obs.tracing import Tracer, span, tracing_to
 from ..simulator.testbed import build_sut
 from ..zwave.registry import SpecRegistry, load_full_registry, load_public_registry
 from .discovery import discover_unknown_properties
@@ -55,6 +62,7 @@ class CampaignResult:
     properties: Optional[ControllerProperties]
     fuzz: FuzzResult
     unique: Dict[Signature, VerifiedUnique] = field(default_factory=dict)
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def unique_vulnerabilities(self) -> int:
@@ -105,6 +113,9 @@ class CampaignResult:
             "cmd_coverage": self.fuzz.cmd_coverage,
             "detections_with_duplicates": len(self.fuzz.detections),
             "unique_vulnerabilities": self.unique_vulnerabilities,
+            "frames_per_bug": None
+            if self.metrics is None
+            else frames_per_bug(self.metrics),
             "fingerprint": None
             if props is None
             else {
@@ -154,41 +165,70 @@ def run_campaign(
     passive_duration: float = 120.0,
     verify: bool = True,
     queue_strategy: str = "priority",
+    tracer: Optional[Tracer] = None,
 ) -> CampaignResult:
-    """Run one complete trial: fingerprint → (discover) → fuzz → verify."""
+    """Run one complete trial: fingerprint → (discover) → fuzz → verify.
+
+    Every campaign activates a fresh :class:`MetricsCollector` (and binds
+    *tracer*, or a private one, to the trial's simulated clock), so the
+    instrumented hot paths below it record into ``result.metrics`` without
+    any explicit threading.
+    """
     sut = build_sut(device, seed=seed)
     config = fuzzer_config or FuzzerConfig()
 
-    properties = fingerprint(sut.dongle, sut.clock, passive_duration)
-    if mode is Mode.FULL:
-        properties = discover_unknown_properties(
-            sut.dongle, sut.clock, properties, load_public_registry()
+    collector = MetricsCollector()
+    if tracer is None:
+        tracer = Tracer(sut.clock)
+    elif tracer.clock is None:
+        tracer.clock = sut.clock
+
+    with collecting(collector), tracing_to(tracer):
+        with span("campaign.fingerprint", device=device):
+            properties = fingerprint(sut.dongle, sut.clock, passive_duration)
+        if mode is Mode.FULL:
+            with span("campaign.discovery", device=device):
+                properties = discover_unknown_properties(
+                    sut.dongle, sut.clock, properties, load_public_registry()
+                )
+
+        # ZCover's protocol knowledge: the spec plus the public XML command
+        # definitions — which, unlike the official listing, describe the
+        # protocol classes' schemas (see DESIGN.md).
+        knowledge = load_full_registry()
+        rng = random.Random(seed ^ 0x5A5A5A)
+        engine = FuzzingEngine(sut, config)
+
+        if mode is Mode.GAMMA:
+            streams = random_stream(RandomMutator(rng))
+        else:
+            queue = build_queue(mode, properties, knowledge, queue_strategy)
+            mutator = PositionSensitiveMutator(knowledge, rng)
+            streams = psm_streams(queue, mutator, config.cmdcl_time, config.requeue)
+
+        with span("campaign.fuzz", device=device, mode=mode.name):
+            fuzz = engine.run(streams, duration)
+        result = CampaignResult(
+            device=device,
+            mode=mode,
+            duration=duration,
+            properties=properties,
+            fuzz=fuzz,
         )
+        if verify:
+            with span("campaign.verify", device=device):
+                result.unique = verify_findings(device, seed, fuzz)
 
-    # ZCover's protocol knowledge: the spec plus the public XML command
-    # definitions — which, unlike the official listing, describe the
-    # protocol classes' schemas (see DESIGN.md).
-    knowledge = load_full_registry()
-    rng = random.Random(seed ^ 0x5A5A5A)
-    engine = FuzzingEngine(sut, config)
+        collector.inc("bugs.unique", result.unique_vulnerabilities)
+        for signature, unique in result.unique.items():
+            cmdcl, kind, rounded = signature
+            dedup = f"{cmdcl:02x}:{kind}:{'-' if rounded is None else rounded}"
+            collector.inc(f"bugs.dedup.{dedup}")
+            if unique.bug_id is not None:
+                collector.inc(f"bugs.id.{unique.bug_id:02d}")
+        collector.gauge_max("campaign.duration_s", fuzz.duration)
 
-    if mode is Mode.GAMMA:
-        streams = random_stream(RandomMutator(rng))
-    else:
-        queue = build_queue(mode, properties, knowledge, queue_strategy)
-        mutator = PositionSensitiveMutator(knowledge, rng)
-        streams = psm_streams(queue, mutator, config.cmdcl_time, config.requeue)
-
-    fuzz = engine.run(streams, duration)
-    result = CampaignResult(
-        device=device,
-        mode=mode,
-        duration=duration,
-        properties=properties,
-        fuzz=fuzz,
-    )
-    if verify:
-        result.unique = verify_findings(device, seed, fuzz)
+    result.metrics = collector.snapshot()
     return result
 
 

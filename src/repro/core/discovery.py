@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..obs import metrics as obs
+from ..obs.tracing import span
 from ..radio.clock import SimClock
 from ..radio.transceiver import Transceiver
 from ..zwave.application import ApplicationPayload
@@ -99,6 +101,7 @@ class ValidationTester:
 
     def probe(self, home_id: int, controller_node_id: int, cmdcl: int) -> ProbeOutcome:
         """Send one class probe and classify the reaction."""
+        obs.inc("discovery.probes")
         self._dongle.clear_captures()
         frame = ZWaveFrame(
             home_id=home_id,
@@ -166,12 +169,15 @@ def discover_unknown_properties(
     clusterer = SpecClusterer(registry)
     clustered = clusterer.cluster(properties.listed_cmdcls)
     tester = ValidationTester(dongle, clock)
-    validated = tester.sweep(
-        properties.home_id,
-        properties.controller_node_id,
-        clustered.unlisted_candidates,
-        registry,
-    )
+    with span("discovery.sweep"):
+        validated = tester.sweep(
+            properties.home_id,
+            properties.controller_node_id,
+            clustered.unlisted_candidates,
+            registry,
+        )
+    obs.inc("discovery.confirmed", len(validated.confirmed_candidates))
+    obs.inc("discovery.proprietary", len(validated.proprietary))
     return ControllerProperties(
         home_id=properties.home_id,
         controller_node_id=properties.controller_node_id,

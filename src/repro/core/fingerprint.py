@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import FuzzerError, TransceiverError
+from ..obs import metrics as obs
+from ..obs.tracing import span
 from ..radio.clock import SimClock
 from ..radio.transceiver import CapturedFrame, Transceiver
 from ..zwave.application import ApplicationPayload
@@ -70,6 +72,8 @@ class PassiveScanner:
     def analyze(self, captures: List[CapturedFrame]) -> PassiveScanResult:
         """Steps 2-3 of Figure 4: dissect captures, extract identifiers."""
         decoded = [c.frame for c in captures if c.frame is not None]
+        obs.inc("fingerprint.frames_seen", len(captures))
+        obs.inc("fingerprint.frames_decoded", len(decoded))
         if not decoded:
             raise FuzzerError(
                 "passive scan heard no decodable Z-Wave traffic; "
@@ -126,6 +130,7 @@ class ActiveScanner:
         probes = 0
         for _ in range(self.MAX_RETRIES):
             probes += 1
+            obs.inc("fingerprint.nif_probes")
             self._dongle.clear_captures()
             request = ZWaveFrame(
                 home_id=home_id,
@@ -167,10 +172,12 @@ def fingerprint(
     passive_duration: float = 120.0,
 ) -> ControllerProperties:
     """Run the full phase-1 pipeline: passive scan, then NIF interrogation."""
-    passive = PassiveScanner(dongle, clock).scan(passive_duration)
-    active = ActiveScanner(dongle, clock).interrogate(
-        passive.home_id, passive.controller_node_id
-    )
+    with span("fingerprint.passive"):
+        passive = PassiveScanner(dongle, clock).scan(passive_duration)
+    with span("fingerprint.active"):
+        active = ActiveScanner(dongle, clock).interrogate(
+            passive.home_id, passive.controller_node_id
+        )
     return ControllerProperties(
         home_id=passive.home_id,
         controller_node_id=passive.controller_node_id,

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..obs import metrics as obs
+from ..obs.tracing import span
 from ..radio.clock import SimClock
 from ..simulator.testbed import SystemUnderTest
 from ..zwave.frame import ZWaveFrame
@@ -127,32 +129,38 @@ class FuzzingEngine:
         for cmdcl_label, generator, window in streams:
             if self._clock.now >= deadline:
                 break
+            label = f"0x{cmdcl_label:02x}" if cmdcl_label >= 0 else "random"
             window_anchor = self._clock.now
-            for case in generator:
-                if self._clock.now >= deadline:
-                    break
-                test_start = self._clock.now
-                self._inject(case, result)
-                observation = self._observe()
-                if observation.finding:
-                    self._record(case, observation, result, start)
-                    self._recover(observation)
-                    # Only a *novel* finding keeps the class on the fuzzing
-                    # slot; re-triggering known crashes must not starve the
-                    # rest of the queue.
-                    group = (
-                        case.payload.cmdcl,
-                        case.payload.cmd,
-                        observation.kind.value,
-                    )
-                    if group not in seen_groups:
-                        seen_groups.add(group)
-                        window_anchor = self._clock.now
-                self._pad(test_start)
-                self._sample_timeline(result, start)
-                if window is not None and self._clock.now - window_anchor >= window:
-                    break
+            with span("fuzzer.window", cmdcl=label):
+                for case in generator:
+                    if self._clock.now >= deadline:
+                        break
+                    test_start = self._clock.now
+                    self._inject(case, result)
+                    observation = self._observe()
+                    if observation.finding:
+                        self._record(case, observation, result, start)
+                        self._recover(observation)
+                        # Only a *novel* finding keeps the class on the fuzzing
+                        # slot; re-triggering known crashes must not starve the
+                        # rest of the queue.
+                        group = (
+                            case.payload.cmdcl,
+                            case.payload.cmd,
+                            observation.kind.value,
+                        )
+                        if group not in seen_groups:
+                            seen_groups.add(group)
+                            window_anchor = self._clock.now
+                    self._pad(test_start)
+                    self._sample_timeline(result, start)
+                    if (
+                        window is not None
+                        and self._clock.now - window_anchor >= window
+                    ):
+                        break
             result.windows_completed += 1
+            obs.inc("fuzzer.windows")
         result.duration = self._clock.now - start
         result.timeline.append(
             TimelinePoint(result.duration, result.packets_sent, len(result.detections))
@@ -163,11 +171,14 @@ class FuzzingEngine:
 
     def _inject(self, case: TestCase, result: FuzzResult) -> None:
         self._sequence = (self._sequence + 1) % 16
+        payload = case.encode()
+        obs.inc("fuzzer.frames_tx")
+        obs.observe("fuzzer.payload_len", len(payload))
         frame = ZWaveFrame(
             home_id=self._sut.profile.home_id,
             src=SCANNER_NODE_ID,
             dst=self._sut.controller.node_id,
-            payload=case.encode(),
+            payload=payload,
             sequence=self._sequence,
         )
         self._sut.dongle.inject(frame)
@@ -202,6 +213,8 @@ class FuzzingEngine:
             observed=observation.kind,
         )
         result.bug_log.add(record)
+        obs.inc("fuzzer.detections")
+        obs.inc(f"fuzzer.detections.{observation.kind.value}")
         result.detections.append(
             DetectionMark(
                 timestamp=self._clock.now - start,

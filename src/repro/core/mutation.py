@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Optional, Tuple
 
+from ..obs import metrics as obs
 from ..zwave.application import ApplicationPayload, build_valid_payload
 from ..zwave.cmdclass import Command, CommandClass, ParamKind
 from ..zwave.registry import SpecRegistry
@@ -96,6 +97,24 @@ class TestCase:
         return self.payload.encode()
 
 
+def _field_class(position: int) -> str:
+    """The Figure 6 field class a hierarchy position belongs to."""
+    if position == 0:
+        return "cmdcl"
+    if position == 1:
+        return "cmd"
+    return "param"
+
+
+def _counted(cases: Iterator[TestCase]) -> Iterator[TestCase]:
+    """Pass cases through, counting them by field class and operator."""
+    for case in cases:
+        obs.inc("mutation.generated")
+        obs.inc(f"mutation.field.{_field_class(case.position)}")
+        obs.inc(f"mutation.operator.{case.operator.value}")
+        yield case
+
+
 class PositionSensitiveMutator:
     """Generates :class:`TestCase` streams for one command class at a time."""
 
@@ -107,6 +126,9 @@ class PositionSensitiveMutator:
 
     def generate(self, cmdcl: int) -> Iterator[TestCase]:
         """Yield test cases for *cmdcl*, highest-signal stages first."""
+        return _counted(self._cases(cmdcl))
+
+    def _cases(self, cmdcl: int) -> Iterator[TestCase]:
         cls = self._registry.get(cmdcl)
         yield TestCase(
             ApplicationPayload(cmdcl, 0x00, b"\x00"),
@@ -307,6 +329,9 @@ class RandomMutator:
 
     def generate(self) -> Iterator[TestCase]:
         """Yield uniformly random (cmdcl, cmd, params) test cases forever."""
+        return _counted(self._cases())
+
+    def _cases(self) -> Iterator[TestCase]:
         while True:
             cmdcl = self._rng.randrange(256)
             cmd = self._rng.randrange(256)

@@ -177,6 +177,21 @@ def _rehydrate(unit: CampaignUnit, wire: dict) -> Any:
 # -- parent side ---------------------------------------------------------------
 
 
+def outcomes_harness_snapshot(outcomes: Sequence[UnitOutcome]) -> Any:
+    """Executor metrics for a finished batch: units, retries, failures."""
+    from ..obs.metrics import harness_snapshot
+
+    return harness_snapshot(
+        units=len(outcomes),
+        attempts=[outcome.attempts for outcome in outcomes],
+        failure_categories=[
+            outcome.failure.category
+            for outcome in outcomes
+            if outcome.failure is not None
+        ],
+    )
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Resolve a worker request: 0/None mean one worker per CPU core.
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from typing import Any, List, Optional, Tuple
 
+from ..obs.metrics import MetricsSnapshot, SpanStats
 from .baseline import VFuzzResult
 from .buglog import BugLog, BugRecord
 from .campaign import CampaignResult, Mode
@@ -34,7 +35,8 @@ from .tester import Signature, VerifiedFinding, VerifiedUnique
 
 #: Wire-format version, bumped on incompatible layout changes so stale
 #: shards from a different code revision are rejected instead of merged.
-WIRE_VERSION = 1
+#: v2 added the per-campaign ``metrics`` snapshot (repro.obs).
+WIRE_VERSION = 2
 
 
 class WireError(ValueError):
@@ -71,6 +73,38 @@ def properties_from_wire(data: Optional[dict]) -> Optional[ControllerProperties]
         unlisted_candidates=tuple(data["unlisted_candidates"]),
         validated_unknown=tuple(data["validated_unknown"]),
         proprietary=tuple(data["proprietary"]),
+    )
+
+
+# -- metrics snapshots ---------------------------------------------------------
+
+
+def snapshot_to_wire(snapshot: Optional[MetricsSnapshot]) -> Optional[dict]:
+    """Reduce an observability snapshot to plain data."""
+    if snapshot is None:
+        return None
+    return {
+        "counters": dict(snapshot.counters),
+        "gauges": dict(snapshot.gauges),
+        "histograms": {k: dict(v) for k, v in snapshot.histograms.items()},
+        "coverage": dict(snapshot.coverage),
+        "spans": {k: [s.count, s.sim_time_us] for k, s in snapshot.spans.items()},
+    }
+
+
+def snapshot_from_wire(data: Optional[dict]) -> Optional[MetricsSnapshot]:
+    """Rebuild a :class:`MetricsSnapshot` from its wire form."""
+    if data is None:
+        return None
+    return MetricsSnapshot(
+        counters=dict(data["counters"]),
+        gauges=dict(data["gauges"]),
+        histograms={k: dict(v) for k, v in data["histograms"].items()},
+        coverage=dict(data["coverage"]),
+        spans={
+            k: SpanStats(count=count, sim_time_us=sim_time_us)
+            for k, (count, sim_time_us) in data["spans"].items()
+        },
     )
 
 
@@ -173,6 +207,7 @@ def campaign_to_wire(result: CampaignResult) -> dict:
             _unique_to_wire(signature, unique)
             for signature, unique in result.unique.items()
         ],
+        "metrics": snapshot_to_wire(result.metrics),
     }
 
 
@@ -189,6 +224,7 @@ def campaign_from_wire(data: dict) -> CampaignResult:
         properties=properties_from_wire(data["properties"]),
         fuzz=fuzz_from_wire(data["fuzz"]),
         unique=dict(_unique_from_wire(entry) for entry in data["unique"]),
+        metrics=snapshot_from_wire(data.get("metrics")),
     )
 
 
@@ -207,6 +243,7 @@ def vfuzz_to_wire(result: VFuzzResult) -> dict:
         "cmdcls_used": sorted(result.cmdcls_used),
         "cmds_used": sorted(result.cmds_used),
         "detections": [[t, n] for t, n in result.detections],
+        "metrics": snapshot_to_wire(result.metrics),
     }
 
 
@@ -225,6 +262,7 @@ def vfuzz_from_wire(data: dict) -> VFuzzResult:
         cmdcls_used=set(data["cmdcls_used"]),
         cmds_used=set(data["cmds_used"]),
         detections=[(t, n) for t, n in data["detections"]],
+        metrics=snapshot_from_wire(data.get("metrics")),
     )
 
 
@@ -279,7 +317,13 @@ def merge_trials(
     unions/intersections and the rendered report are byte-identical to a
     serial run.  Failed shards become structured entries in
     ``summary.failures`` without disturbing the surviving trials.
+
+    The summary also carries a harness metrics snapshot (unit counts,
+    per-unit attempts, failure categories); on a clean run it matches the
+    serial loop's snapshot exactly, keeping merged ``--metrics-out``
+    documents byte-identical across worker counts.
     """
+    from ..obs.metrics import harness_snapshot
     from .trials import TrialSummary  # local import: trials imports us too
 
     results, failures = merge_campaign_outcomes(outcomes)
@@ -289,4 +333,13 @@ def merge_trials(
         duration=duration,
         trials=results,
         failures=failures,
+        harness_metrics=harness_snapshot(
+            units=len(outcomes),
+            attempts=[outcome.attempts for outcome in outcomes],
+            failure_categories=[
+                outcome.failure.category
+                for outcome in outcomes
+                if outcome.failure is not None
+            ],
+        ),
     )

@@ -20,6 +20,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import MetricsSnapshot, harness_snapshot, merge_all, merge_snapshots
 from .campaign import CampaignResult, DAY, Mode, run_campaign
 
 
@@ -45,6 +46,9 @@ class TrialSummary:
     #: Structured records of shards that never produced a result
     #: (:class:`repro.core.parallel.UnitFailure`); empty on a clean run.
     failures: List[object] = field(default_factory=list)
+    #: Executor-side metrics (unit counts, retries, failure categories);
+    #: built identically by the serial loop and the parallel merge.
+    harness_metrics: Optional[MetricsSnapshot] = None
 
     @property
     def n_trials(self) -> int:
@@ -101,6 +105,31 @@ class TrialSummary:
                 )
             )
         return stats
+
+    def merged_metrics(self) -> MetricsSnapshot:
+        """Every trial's snapshot plus the harness snapshot, merged."""
+        merged = merge_all(
+            trial.metrics for trial in self.trials if trial.metrics is not None
+        )
+        if self.harness_metrics is not None:
+            merged = merge_snapshots(merged, self.harness_metrics)
+        return merged
+
+    def metrics_document(self) -> dict:
+        """The schema-v1 ``--metrics-out`` document for this summary."""
+        from ..obs.export import snapshot_to_document
+
+        return snapshot_to_document(
+            self.merged_metrics(),
+            meta={
+                "kind": "trials",
+                "device": self.device,
+                "mode": self.mode.name,
+                "duration_s": self.duration,
+                "trials": self.n_trials,
+                "failures": len(self.failures),
+            },
+        )
 
     def render(self) -> str:
         """Human-readable summary table."""
@@ -178,6 +207,12 @@ def run_trials(
                     seed=base_seed + SEED_STRIDE * trial_index,
                 )
             )
+        # One clean attempt per unit, mirroring what merge_trials builds
+        # from real executor outcomes, so --metrics-out documents are
+        # byte-identical across worker counts.
+        summary.harness_metrics = harness_snapshot(
+            units=n_trials, attempts=[1] * n_trials, failure_categories=[]
+        )
         return summary
 
     from .parallel import execute_units

@@ -1,0 +1,55 @@
+"""Campaign observability: metrics, tracing spans and exports.
+
+Three modules form the measurement substrate of the reproduction (see
+``docs/architecture.md`` §Observability):
+
+* :mod:`repro.obs.metrics` — process-local, JSON-clean counters, gauges,
+  histograms and the CMDCL×CMD coverage bitmap, with a seed-stable
+  snapshot/merge API that composes with the parallel campaign engine;
+* :mod:`repro.obs.tracing` — a lightweight span API over simulated time
+  (``with span("campaign.fuzz", device="D1")``) with a bounded in-memory
+  ring and optional JSONL export;
+* :mod:`repro.obs.export` — text, JSON (schema v1) and Prometheus-style
+  textfile renderings, wired to ``zcover obs`` and ``--metrics-out``.
+
+Everything measured here is simulated-time and counter based, so metrics
+documents are byte-identical across worker counts; the only wall-clock
+read (span profiling) lives in :func:`repro.radio.clock.wall_monotonic`
+and never enters a metrics document.
+"""
+
+from .metrics import (
+    MetricsCollector,
+    MetricsSnapshot,
+    SpanStats,
+    active_collector,
+    collecting,
+    coverage_key,
+    frames_per_bug,
+    format_frames_per_bug,
+    harness_snapshot,
+    merge_all,
+    merge_snapshots,
+    parse_coverage_key,
+)
+from .tracing import SpanRecord, Tracer, current_tracer, span, tracing_to
+
+__all__ = [
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "SpanRecord",
+    "SpanStats",
+    "Tracer",
+    "active_collector",
+    "collecting",
+    "coverage_key",
+    "current_tracer",
+    "format_frames_per_bug",
+    "frames_per_bug",
+    "harness_snapshot",
+    "merge_all",
+    "merge_snapshots",
+    "parse_coverage_key",
+    "span",
+    "tracing_to",
+]

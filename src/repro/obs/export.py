@@ -1,0 +1,212 @@
+"""Metrics exports: JSON document (schema v1), text table, Prometheus text.
+
+The JSON *document* is the interchange form written by ``--metrics-out``
+and read back by ``zcover obs --in``: a schema-versioned envelope around
+one merged :class:`~repro.obs.metrics.MetricsSnapshot` plus free-form
+``meta`` describing what was measured.  :func:`dumps_document` is
+canonical (sorted keys, two-space indent, trailing newline), so equal
+snapshots produce byte-identical files — the property the golden test
+(``tests/data/obs_golden.json``) and the serial-vs-parallel CLI test pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .metrics import (
+    HISTOGRAM_BOUNDS,
+    MetricsSnapshot,
+    SpanStats,
+    parse_coverage_key,
+)
+
+#: Document type marker, mirroring the lint report's schema envelope.
+SCHEMA = "zcover-obs-metrics"
+SCHEMA_VERSION = 1
+
+
+class ObsExportError(ValueError):
+    """A metrics document does not match the expected schema or version."""
+
+
+# -- the JSON document ---------------------------------------------------------
+
+
+def snapshot_to_document(
+    snapshot: MetricsSnapshot, meta: Optional[dict] = None
+) -> dict:
+    """Wrap *snapshot* in the schema-v1 envelope."""
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "counters": {k: snapshot.counters[k] for k in sorted(snapshot.counters)},
+        "gauges": {k: snapshot.gauges[k] for k in sorted(snapshot.gauges)},
+        "histograms": {
+            k: dict(snapshot.histograms[k]) for k in sorted(snapshot.histograms)
+        },
+        "coverage": {k: snapshot.coverage[k] for k in sorted(snapshot.coverage)},
+        "spans": {
+            k: {
+                "count": snapshot.spans[k].count,
+                "sim_time_us": snapshot.spans[k].sim_time_us,
+            }
+            for k in sorted(snapshot.spans)
+        },
+    }
+
+
+def document_to_snapshot(doc: dict) -> MetricsSnapshot:
+    """Rebuild the snapshot from a document, validating the envelope."""
+    if doc.get("schema") != SCHEMA:
+        raise ObsExportError(f"not a {SCHEMA} document (schema={doc.get('schema')!r})")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ObsExportError(
+            f"schema version {doc.get('schema_version')!r} != expected {SCHEMA_VERSION}"
+        )
+    return MetricsSnapshot(
+        counters=dict(doc.get("counters", {})),
+        gauges=dict(doc.get("gauges", {})),
+        histograms={k: dict(v) for k, v in doc.get("histograms", {}).items()},
+        coverage=dict(doc.get("coverage", {})),
+        spans={
+            name: SpanStats(count=entry["count"], sim_time_us=entry["sim_time_us"])
+            for name, entry in doc.get("spans", {}).items()
+        },
+    )
+
+
+def dumps_document(doc: dict) -> str:
+    """Canonical serialisation: sorted keys, indent 2, trailing newline."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def write_document(doc: dict, path: str) -> None:
+    """Write the canonical serialisation to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_document(doc))
+
+
+def load_document(path: str) -> dict:
+    """Read a document and validate its envelope."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    document_to_snapshot(doc)  # envelope + layout validation
+    return doc
+
+
+# -- text rendering ------------------------------------------------------------
+
+
+def _coverage_by_class(coverage: Dict[str, int]) -> Dict[int, int]:
+    """Per-CMDCL count of distinct exercised coordinates."""
+    classes: Dict[int, int] = {}
+    for key in coverage:
+        cmdcl, _cmd = parse_coverage_key(key)
+        classes[cmdcl] = classes.get(cmdcl, 0) + 1
+    return classes
+
+
+def render_text(doc: dict) -> str:
+    """Human-readable summary of a metrics document."""
+    snapshot = document_to_snapshot(doc)
+    lines = [f"{SCHEMA} v{doc.get('schema_version')}"]
+    meta = doc.get("meta", {})
+    if meta:
+        pairs = "  ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        lines.append(f"meta: {pairs}")
+    if snapshot.counters:
+        lines += ["", "counters:"]
+        width = max(len(name) for name in snapshot.counters)
+        for name in sorted(snapshot.counters):
+            lines.append(f"  {name.ljust(width)}  {snapshot.counters[name]}")
+    if snapshot.gauges:
+        lines += ["", "gauges:"]
+        width = max(len(name) for name in snapshot.gauges)
+        for name in sorted(snapshot.gauges):
+            lines.append(f"  {name.ljust(width)}  {snapshot.gauges[name]:g}")
+    if snapshot.coverage:
+        classes = _coverage_by_class(snapshot.coverage)
+        total_hits = sum(snapshot.coverage.values())
+        lines += [
+            "",
+            f"coverage: {len(snapshot.coverage)} (cmdcl, cmd) coordinates over "
+            f"{len(classes)} command classes, {total_hits} processed frames",
+        ]
+        for cmdcl in sorted(classes):
+            lines.append(f"  0x{cmdcl:02x}: {classes[cmdcl]} coordinate(s)")
+    if snapshot.histograms:
+        lines += ["", "histograms:"]
+        for name in sorted(snapshot.histograms):
+            hist = snapshot.histograms[name]
+            buckets = "  ".join(
+                f"le_{bound}={hist.get(f'le_{bound}', 0)}"
+                for bound in HISTOGRAM_BOUNDS
+            )
+            lines.append(
+                f"  {name}: count={hist.get('count', 0)} sum={hist.get('sum', 0)} "
+                f"{buckets}  inf={hist.get('inf', 0)}"
+            )
+    if snapshot.spans:
+        lines += ["", "spans (simulated time):"]
+        width = max(len(name) for name in snapshot.spans)
+        for name in sorted(snapshot.spans):
+            stats = snapshot.spans[name]
+            lines.append(
+                f"  {name.ljust(width)}  count={stats.count}  "
+                f"sim={stats.sim_seconds:.3f}s"
+            )
+    return "\n".join(lines)
+
+
+# -- Prometheus textfile rendering ---------------------------------------------
+
+
+def render_prometheus(doc: dict) -> str:
+    """Prometheus text exposition of a metrics document.
+
+    Suitable for the node-exporter textfile collector; meta entries are
+    emitted as comments since they are labels of the whole document.
+    """
+    snapshot = document_to_snapshot(doc)
+    lines = [f"# {SCHEMA} schema v{doc.get('schema_version')}"]
+    meta = doc.get("meta", {})
+    for key in sorted(meta):
+        lines.append(f"# meta {key}={meta[key]}")
+    for name in sorted(snapshot.counters):
+        lines.append(
+            f'zcover_counter_total{{name="{name}"}} {snapshot.counters[name]}'
+        )
+    for name in sorted(snapshot.gauges):
+        lines.append(f'zcover_gauge{{name="{name}"}} {snapshot.gauges[name]:g}')
+    for key in sorted(snapshot.coverage):
+        cmdcl, cmd = parse_coverage_key(key)
+        cmd_label = "none" if cmd is None else f"{cmd:02x}"
+        lines.append(
+            f'zcover_coverage_total{{cmdcl="{cmdcl:02x}",cmd="{cmd_label}"}} '
+            f"{snapshot.coverage[key]}"
+        )
+    for name in sorted(snapshot.histograms):
+        hist = snapshot.histograms[name]
+        cumulative = 0
+        for bound in HISTOGRAM_BOUNDS:
+            cumulative += hist.get(f"le_{bound}", 0)
+            lines.append(
+                f'zcover_histogram_bucket{{name="{name}",le="{bound}"}} {cumulative}'
+            )
+        lines.append(
+            f'zcover_histogram_bucket{{name="{name}",le="+Inf"}} '
+            f"{hist.get('count', 0)}"
+        )
+        lines.append(f'zcover_histogram_sum{{name="{name}"}} {hist.get("sum", 0)}')
+        lines.append(
+            f'zcover_histogram_count{{name="{name}"}} {hist.get("count", 0)}'
+        )
+    for name in sorted(snapshot.spans):
+        stats = snapshot.spans[name]
+        lines.append(f'zcover_span_count{{name="{name}"}} {stats.count}')
+        lines.append(
+            f'zcover_span_sim_seconds{{name="{name}"}} {stats.sim_seconds:g}'
+        )
+    return "\n".join(lines)

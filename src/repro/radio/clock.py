@@ -11,9 +11,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import RadioError
+
+
+def wall_monotonic() -> float:
+    """Real monotonic seconds, for wall-clock *profiling* only.
+
+    This module is the lint D101 entropy/time owner — the single
+    sanctioned wall-clock read in the tree.  Tracing spans
+    (:mod:`repro.obs.tracing`) use it to report where worker wall time
+    goes; nothing derived from it may enter a deterministic artefact
+    (reports, wire forms, metrics documents).
+    """
+    return time.monotonic()
 
 
 class SimClock:

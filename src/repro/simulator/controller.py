@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import FrameError, SimulatorError
+from ..obs import metrics as obs
 from ..radio.clock import SimClock
 from ..radio.medium import RadioMedium, Reception
 from ..security.s0 import S0Context
@@ -260,10 +261,12 @@ class VirtualController:
             ack_request=ack_request,
         )
         self.stats.responses_sent += 1
+        obs.inc("controller.frames_tx")
         self._medium.transmit(self.name, frame.encode(), rate_kbaud=100.0)
 
     def _send_ack(self, frame: ZWaveFrame) -> None:
         self.stats.acked += 1
+        obs.inc("controller.acks_tx")
         self._medium.transmit(self.name, frame.ack().encode(), rate_kbaud=100.0)
 
     # -- receive path -------------------------------------------------------------------
@@ -272,6 +275,7 @@ class VirtualController:
         if not self._powered:
             return
         self.stats.received += 1
+        obs.inc("controller.frames_rx")
         raw = reception.raw
 
         # MAC parsing one-days live in the validator, so they fire first.
@@ -327,6 +331,7 @@ class VirtualController:
         except FrameError:
             return
         self.stats.apl_processed += 1
+        obs.inc("controller.apl_rx")
 
         if is_nif_request(payload):
             self._send(frame.src, encode_nif_report(self.node_info()))
@@ -353,6 +358,7 @@ class VirtualController:
     def _process_payload(
         self, src: int, payload: ApplicationPayload, encapsulated: bool, depth: int = 0
     ) -> None:
+        self._mark_coverage(payload)
         ctx = TriggerContext(
             cmdcl=payload.cmdcl,
             cmd=payload.cmd,
@@ -373,6 +379,25 @@ class VirtualController:
         if self._handle_stateful(src, payload):
             return
         self._respond_normally(src, payload)
+
+    def _mark_coverage(self, payload: ApplicationPayload) -> None:
+        """Record one CMDCL×CMD coverage-bitmap hit for a dispatched payload.
+
+        Only coordinates the controller's own registry defines are ever
+        marked (unknown classes and undefined commands degrade to the
+        class- or nothing-level), so the bitmap can never claim phantom
+        coverage of a (cmdcl, cmd) pair the specification lacks.
+        """
+        collector = obs.active_collector()
+        if collector is None:
+            return
+        cls = self._registry.get(payload.cmdcl)
+        if cls is None:
+            return
+        if payload.cmd is not None and cls.command(payload.cmd) is not None:
+            collector.cover(payload.cmdcl, payload.cmd)
+        else:
+            collector.cover(payload.cmdcl)
 
     def _handle_encapsulation(
         self, src: int, payload: ApplicationPayload, encapsulated: bool, depth: int

@@ -1,0 +1,163 @@
+"""End-to-end observability tests against real campaigns.
+
+Covers three satellites:
+
+- the golden file ``tests/data/obs_golden.json`` pins the schema-v1
+  metrics document for a fixed two-device seed-0 campaign byte-for-byte
+  (same convention as ``lint_golden.json``);
+- the coverage bitmap must agree with the :class:`SpecRegistry` — every
+  recorded key is a real (cmdcl, cmd) coordinate or a proprietary class,
+  never phantom coverage;
+- ``analysis.summary`` and ``analysis.report`` must render the same
+  frames-per-bug figure, both sourced from the shared metrics snapshot.
+
+Regenerate the golden after an intentional schema change with::
+
+    PYTHONPATH=src:tests python -c \
+        "import test_obs_campaign as t; t.write_golden()"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import render_table6
+from repro.analysis.summary import campaign_report
+from repro.core.campaign import Mode, run_campaign
+from repro.obs.export import dumps_document, snapshot_to_document
+from repro.obs.metrics import (
+    format_frames_per_bug,
+    frames_per_bug,
+    merge_snapshots,
+    parse_coverage_key,
+)
+from repro.zwave.registry import load_full_registry
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "obs_golden.json"
+
+DEVICES = ("D1", "D2")
+DURATION = 600.0
+SEED = 0
+
+
+def _run_pair():
+    return {
+        device: run_campaign(device, Mode.FULL, duration=DURATION, seed=SEED)
+        for device in DEVICES
+    }
+
+
+def build_golden_document(results=None):
+    """The pinned document: both campaigns' metrics merged, fixed meta."""
+    results = results or _run_pair()
+    merged = results[DEVICES[0]].metrics
+    for device in DEVICES[1:]:
+        merged = merge_snapshots(merged, results[device].metrics)
+    return snapshot_to_document(
+        merged,
+        meta={
+            "devices": ",".join(DEVICES),
+            "duration_s": DURATION,
+            "kind": "campaign-pair",
+            "mode": "FULL",
+            "seed": SEED,
+        },
+    )
+
+
+def write_golden(results=None):
+    """Regenerate the golden file through the exact code path the test uses."""
+    GOLDEN_PATH.write_text(dumps_document(build_golden_document(results)))
+
+
+@pytest.fixture(scope="module")
+def results():
+    return _run_pair()
+
+
+class TestGolden:
+    def test_document_matches_golden_bytes(self, results):
+        assert GOLDEN_PATH.exists(), "run write_golden() to create the golden file"
+        assert dumps_document(build_golden_document(results)) == GOLDEN_PATH.read_text()
+
+    def test_rerun_is_byte_stable(self, results):
+        rerun = run_campaign(DEVICES[0], Mode.FULL, duration=DURATION, seed=SEED)
+        assert rerun.metrics == results[DEVICES[0]].metrics
+
+
+class TestCoverageBitmap:
+    def test_no_phantom_coverage(self, results):
+        """Every coverage key names a coordinate the registry defines."""
+        registry = load_full_registry()
+        for result in results.values():
+            assert result.metrics.coverage, "campaign recorded no coverage"
+            for key in result.metrics.coverage:
+                cmdcl, cmd = parse_coverage_key(key)
+                cls = registry.get(cmdcl)
+                assert cls is not None, f"coverage key {key} names unknown CMDCL"
+                if cmd is not None:
+                    assert cls.command(cmd) is not None, (
+                        f"coverage key {key} names a command "
+                        f"{cls.name} does not define"
+                    )
+
+    def test_proprietary_classes_reached_in_full_mode(self, results):
+        """FULL mode fuzzes the hidden 0x01/0x02 classes the paper found."""
+        for result in results.values():
+            cmdcls = {parse_coverage_key(k)[0] for k in result.metrics.coverage}
+            assert 0x01 in cmdcls
+            assert 0x02 in cmdcls
+
+    def test_coverage_counts_are_positive(self, results):
+        for result in results.values():
+            assert all(count > 0 for count in result.metrics.coverage.values())
+
+
+class TestInstrumentation:
+    def test_frames_tx_matches_fuzz_result(self, results):
+        for result in results.values():
+            assert (
+                result.metrics.counters["fuzzer.frames_tx"]
+                == result.fuzz.packets_sent
+            )
+
+    def test_bugs_unique_matches_verification(self, results):
+        for result in results.values():
+            assert (
+                result.metrics.counters["bugs.unique"]
+                == result.unique_vulnerabilities
+            )
+
+    def test_phase_spans_present(self, results):
+        for result in results.values():
+            names = set(result.metrics.spans)
+            assert {
+                "campaign.fingerprint",
+                "campaign.discovery",
+                "campaign.fuzz",
+                "campaign.verify",
+            } <= names
+
+    def test_to_dict_carries_frames_per_bug(self, results):
+        for result in results.values():
+            assert result.to_dict()["frames_per_bug"] == frames_per_bug(result.metrics)
+
+
+class TestAnalysisAgreement:
+    """Satellite 4: summary and report read the same snapshot figure."""
+
+    def test_summary_and_table6_agree(self, results):
+        result = results[DEVICES[0]]
+        expected = format_frames_per_bug(result.metrics)
+        report = campaign_report(result)
+        assert f"- frames per unique bug: {expected}" in report
+        table = render_table6({Mode.FULL: result})
+        row = next(line for line in table.splitlines() if "ZCover full" in line)
+        assert row.rstrip().endswith(expected)
+
+    def test_table6_handles_missing_metrics(self, results):
+        result = results[DEVICES[0]]
+        stripped = type(result)(**{**result.__dict__, "metrics": None})
+        table = render_table6({Mode.FULL: stripped})
+        row = next(line for line in table.splitlines() if "ZCover full" in line)
+        assert row.rstrip().endswith("n/a")

@@ -1,0 +1,127 @@
+"""Property tests for snapshot merging (satellite: ~500 seeded cases).
+
+The merge algebra must be a commutative monoid over snapshots — empty is
+the identity, merging is associative and commutative — and folding the
+same event stream through any worker partition must produce the same
+bytes.  Equality is asserted on the canonical document serialization
+(``dumps_document``), the strongest byte-level form we ship.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.export import dumps_document, snapshot_to_document
+from repro.obs.metrics import (
+    MetricsCollector,
+    MetricsSnapshot,
+    merge_all,
+    merge_snapshots,
+)
+
+N_SEEDS = 100
+
+COUNTER_KEYS = ("fuzzer.frames_tx", "fuzzer.detections", "bugs.unique", "mutation.generated")
+GAUGE_KEYS = ("campaign.duration_s", "vfuzz.duration_s")
+HIST_KEYS = ("fuzzer.payload_len", "parallel.attempts_per_unit")
+SPAN_KEYS = ("campaign.fuzz", "fuzzer.window", "fingerprint.passive")
+
+
+def _canon(snapshot: MetricsSnapshot) -> str:
+    return dumps_document(snapshot_to_document(snapshot, meta={"kind": "prop"}))
+
+
+def _random_events(rng: random.Random, n: int):
+    """A reproducible stream of (kind, args) metric events."""
+    events = []
+    for _ in range(n):
+        roll = rng.randrange(5)
+        if roll == 0:
+            events.append(("inc", (rng.choice(COUNTER_KEYS), rng.randrange(1, 10))))
+        elif roll == 1:
+            events.append(("gauge", (rng.choice(GAUGE_KEYS), rng.uniform(0, 3600))))
+        elif roll == 2:
+            events.append(("observe", (rng.choice(HIST_KEYS), rng.randrange(0, 64))))
+        elif roll == 3:
+            cmdcl = rng.randrange(0x01, 0xA0)
+            cmd = rng.choice([None, rng.randrange(0x01, 0x10)])
+            events.append(("cover", (cmdcl, cmd)))
+        else:
+            events.append(("span", (rng.choice(SPAN_KEYS), rng.randrange(0, 10**6))))
+    return events
+
+
+def _apply(collector: MetricsCollector, events) -> None:
+    for kind, args in events:
+        if kind == "inc":
+            collector.inc(*args)
+        elif kind == "gauge":
+            collector.gauge_max(*args)
+        elif kind == "observe":
+            collector.observe(*args)
+        elif kind == "cover":
+            cmdcl, cmd = args
+            collector.cover(cmdcl) if cmd is None else collector.cover(cmdcl, cmd)
+        else:
+            collector.record_span(*args)
+
+
+def _random_snapshot(rng: random.Random) -> MetricsSnapshot:
+    collector = MetricsCollector()
+    _apply(collector, _random_events(rng, rng.randrange(0, 40)))
+    return collector.snapshot()
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+class TestMergeAlgebra:
+    """5 properties x 100 seeds = 500 randomized cases."""
+
+    def test_commutative(self, seed):
+        rng = random.Random(seed)
+        a, b = _random_snapshot(rng), _random_snapshot(rng)
+        assert _canon(merge_snapshots(a, b)) == _canon(merge_snapshots(b, a))
+
+    def test_associative(self, seed):
+        rng = random.Random(1000 + seed)
+        a, b, c = (_random_snapshot(rng) for _ in range(3))
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert _canon(left) == _canon(right)
+
+    def test_empty_identity(self, seed):
+        rng = random.Random(2000 + seed)
+        a = _random_snapshot(rng)
+        assert _canon(merge_snapshots(a, MetricsSnapshot())) == _canon(a)
+        assert _canon(merge_snapshots(MetricsSnapshot(), a)) == _canon(a)
+
+    def test_partition_invariance(self, seed):
+        """Same event stream, any worker split -> byte-identical merge.
+
+        Gauges only merge by max, so the stream is applied in order within
+        contiguous partitions (exactly how core.parallel shards trials).
+        """
+        rng = random.Random(3000 + seed)
+        events = _random_events(rng, rng.randrange(1, 80))
+
+        def fold(cuts):
+            parts = []
+            previous = 0
+            for cut in [*cuts, len(events)]:
+                collector = MetricsCollector()
+                _apply(collector, events[previous:cut])
+                parts.append(collector.snapshot())
+                previous = cut
+            return _canon(merge_all(parts))
+
+        serial = fold([])  # one worker
+        for workers in (2, 3, 5):
+            cuts = sorted(rng.randrange(0, len(events) + 1) for _ in range(workers - 1))
+            assert fold(cuts) == serial
+
+    def test_merge_all_matches_pairwise_fold(self, seed):
+        rng = random.Random(4000 + seed)
+        snaps = [_random_snapshot(rng) for _ in range(rng.randrange(1, 6))]
+        folded = MetricsSnapshot()
+        for snap in snaps:
+            folded = merge_snapshots(folded, snap)
+        assert _canon(merge_all(snaps)) == _canon(folded)

@@ -14,6 +14,7 @@ from repro.analysis.summary import campaign_report
 from repro.core.campaign import Mode, run_ablation, run_campaign
 from repro.core.resultio import campaign_to_wire, dumps_wire
 from repro.core.trials import run_trials
+from repro.obs.export import dumps_document
 
 N_TRIALS = 3
 DURATION = 900.0  # 15 simulated minutes: all the early bugs, fast test
@@ -71,6 +72,28 @@ class TestTrialDeterminism:
         # 1000*i.
         direct = run_campaign("D1", Mode.FULL, duration=DURATION, seed=1000)
         assert parallel.trials[1] == direct
+
+
+class TestMetricsDeterminism:
+    """The obs snapshots must survive the wire without changing a byte."""
+
+    def test_every_trial_carries_metrics(self, parallel):
+        for trial in parallel.trials:
+            assert trial.metrics is not None
+            assert trial.metrics.counters["fuzzer.frames_tx"] > 0
+
+    def test_per_trial_metrics_equal(self, serial, parallel):
+        for left, right in zip(serial.trials, parallel.trials):
+            assert left.metrics == right.metrics
+
+    def test_harness_metrics_equal(self, serial, parallel):
+        assert serial.harness_metrics == parallel.harness_metrics
+        assert serial.harness_metrics.counters["parallel.units"] == N_TRIALS
+
+    def test_merged_document_is_byte_identical(self, serial, parallel):
+        left = dumps_document(serial.metrics_document())
+        right = dumps_document(parallel.metrics_document())
+        assert left == right
 
 
 class TestAblationDeterminism:
