@@ -89,6 +89,24 @@ def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_plan(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-plan",
+        help="run under deterministic fault injection: a stock plan name "
+        "(canonical, lossy, flaky) or a fault-plan JSON file",
+    )
+
+
+def _resolve_fault_plan(args: argparse.Namespace):
+    """Resolve ``--fault-plan`` (or ``--plan``) to a FaultPlan, or None."""
+    ref = getattr(args, "fault_plan", None) or getattr(args, "plan", None)
+    if not ref:
+        return None
+    from .faults.plan import resolve_plan
+
+    return resolve_plan(ref)
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     """Phase 1: fingerprint the target and print the network profile."""
     sut = build_sut(args.device, seed=args.seed)
@@ -150,6 +168,7 @@ def cmd_ablation(args: argparse.Namespace) -> int:
         duration=args.hours * HOUR,
         seed=args.seed,
         workers=_resolve_workers_arg(args),
+        fault_plan=_resolve_fault_plan(args),
     )
     print(render_table6(results))
     if args.metrics_out:
@@ -179,13 +198,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
     devices = [d.strip() for d in args.devices.split(",") if d.strip()]
     duration = args.hours * HOUR
     workers = _resolve_workers_arg(args)
+    # Fault plans apply to the ZCover campaigns only — the VFuzz baseline
+    # has no campaign/fault machinery to degrade gracefully through.
+    plan = _resolve_fault_plan(args)
     vfuzz_results, zcover_results = {}, {}
     if workers > 1:
         from .core.parallel import CampaignUnit, execute_units
+        from .faults.plan import dumps_plan
 
+        plan_json = None if plan is None else dumps_plan(plan)
         units = [
             CampaignUnit(device=d, kind=kind, mode=Mode.FULL, duration=duration,
-                         seed=args.seed)
+                         seed=args.seed,
+                         fault_plan_json=plan_json if kind == "zcover" else None)
             for d in devices
             for kind in ("vfuzz", "zcover")
         ]
@@ -200,7 +225,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             sut = build_sut(device, seed=args.seed)
             vfuzz_results[device] = VFuzzBaseline(sut, seed=args.seed).run(duration)
             zcover_results[device] = run_campaign(
-                device=device, mode=Mode.FULL, duration=duration, seed=args.seed
+                device=device, mode=Mode.FULL, duration=duration, seed=args.seed,
+                fault_plan=plan,
             )
     print(render_table5(vfuzz_results, zcover_results))
     if args.metrics_out:
@@ -375,10 +401,52 @@ def cmd_trials(args: argparse.Namespace) -> int:
         duration=args.hours * HOUR,
         base_seed=args.seed,
         workers=_resolve_workers_arg(args),
+        fault_plan=_resolve_fault_plan(args),
     )
     print(summary.render())
     if args.metrics_out:
         write_document(summary.metrics_document(), args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if summary.failures else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Resilience audit: repeated trials under a fault plan.
+
+    The same plan and seed produce a byte-identical report (and metrics
+    document) on every run, serial or ``--workers N`` — that is the
+    property this command exists to demonstrate and CI pins.
+    """
+    from .faults.plan import resolve_plan
+    from .faults.report import (
+        build_chaos_document,
+        dumps_chaos_document,
+        render_chaos_text,
+    )
+
+    plan = resolve_plan(args.plan)
+    summary = run_trials(
+        device=args.device,
+        mode=_MODES[args.mode],
+        n_trials=args.trials,
+        duration=args.hours * HOUR,
+        base_seed=args.seed,
+        workers=_resolve_workers_arg(args),
+        fault_plan=plan,
+    )
+    doc = build_chaos_document(summary, plan, args.seed)
+    if args.format == "json":
+        rendering = dumps_chaos_document(doc)
+    else:
+        rendering = render_chaos_text(doc) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendering)
+        print(f"chaos report written to {args.out}")
+    else:
+        sys.stdout.write(rendering)
+    if args.metrics_out:
+        write_document(doc["metrics"], args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     return 1 if summary.failures else 0
 
@@ -464,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--hours", type=float, default=1.0)
     _add_workers(ablation)
     _add_metrics_out(ablation)
+    _add_fault_plan(ablation)
     ablation.set_defaults(func=cmd_ablation)
 
     compare = sub.add_parser("compare", help="Table V: ZCover vs VFuzz")
@@ -472,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     _add_workers(compare)
     _add_metrics_out(compare)
+    _add_fault_plan(compare)
     compare.set_defaults(func=cmd_compare)
 
     table = sub.add_parser("table", help="print a static paper table")
@@ -521,7 +591,26 @@ def build_parser() -> argparse.ArgumentParser:
     trials.add_argument("--hours", type=float, default=1.0)
     _add_workers(trials)
     _add_metrics_out(trials)
+    _add_fault_plan(trials)
     trials.set_defaults(func=cmd_trials)
+
+    chaos = sub.add_parser(
+        "chaos", help="resilience audit: campaigns under a fault plan"
+    )
+    _add_common(chaos)
+    chaos.add_argument(
+        "--plan",
+        default="canonical",
+        help="stock plan name (canonical, lossy, flaky) or a plan JSON file",
+    )
+    chaos.add_argument("--mode", choices=sorted(_MODES), default="full")
+    chaos.add_argument("--trials", type=int, default=2)
+    chaos.add_argument("--hours", type=float, default=0.25)
+    chaos.add_argument("--format", choices=("text", "json"), default="text")
+    chaos.add_argument("--out", help="write the report here (default: stdout)")
+    _add_workers(chaos)
+    _add_metrics_out(chaos)
+    chaos.set_defaults(func=cmd_chaos)
 
     obs = sub.add_parser("obs", help="observability: metrics + tracing spans")
     _add_common(obs)

@@ -23,6 +23,9 @@ from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CampaignError
+from ..faults.injector import AbortHook, ControllerFaultInjector, MediumFaultInjector
+from ..faults.plan import DegradationRecord, FaultPlan
+from ..faults.schedule import FaultPlanner
 from ..obs.metrics import (
     MetricsCollector,
     MetricsSnapshot,
@@ -63,6 +66,10 @@ class CampaignResult:
     fuzz: FuzzResult
     unique: Dict[Signature, VerifiedUnique] = field(default_factory=dict)
     metrics: Optional[MetricsSnapshot] = None
+    #: Set when the trial finished gracefully degraded (repro.faults) —
+    #: a planned abort or an injected failure cut it short, and the
+    #: partial result above is tagged instead of an exception raised.
+    degradation: Optional[DegradationRecord] = None
 
     @property
     def unique_vulnerabilities(self) -> int:
@@ -116,6 +123,9 @@ class CampaignResult:
             "frames_per_bug": None
             if self.metrics is None
             else frames_per_bug(self.metrics),
+            "degradation": None
+            if self.degradation is None
+            else self.degradation.to_wire(),
             "fingerprint": None
             if props is None
             else {
@@ -166,6 +176,7 @@ def run_campaign(
     verify: bool = True,
     queue_strategy: str = "priority",
     tracer: Optional[Tracer] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> CampaignResult:
     """Run one complete trial: fingerprint → (discover) → fuzz → verify.
 
@@ -173,9 +184,17 @@ def run_campaign(
     *tracer*, or a private one, to the trial's simulated clock), so the
     instrumented hot paths below it record into ``result.metrics`` without
     any explicit threading.
+
+    With *fault_plan* the trial runs under deterministic fault injection
+    (see :mod:`repro.faults`): the plan compiles against *seed* and its
+    medium/controller/campaign faults are installed at the start of the
+    fuzzing phase.  A planned abort — or any error while a plan is
+    active — yields a *partial* result tagged with a
+    :class:`DegradationRecord` rather than an exception.
     """
     sut = build_sut(device, seed=seed)
     config = fuzzer_config or FuzzerConfig()
+    schedule = None if fault_plan is None else FaultPlanner(fault_plan).compile(seed)
 
     collector = MetricsCollector()
     if tracer is None:
@@ -206,14 +225,53 @@ def run_campaign(
             mutator = PositionSensitiveMutator(knowledge, rng)
             streams = psm_streams(queue, mutator, config.cmdcl_time, config.requeue)
 
-        with span("campaign.fuzz", device=device, mode=mode.name):
-            fuzz = engine.run(streams, duration)
+        degradation: Optional[DegradationRecord] = None
+        abort_hook: Optional[AbortHook] = None
+        medium_inj: Optional[MediumFaultInjector] = None
+        controller_inj: Optional[ControllerFaultInjector] = None
+        if schedule is not None:
+            medium_inj = MediumFaultInjector(
+                schedule.medium_specs, schedule.medium_rng()
+            )
+            sut.medium.fault_injector = medium_inj
+            controller_inj = ControllerFaultInjector(schedule)
+            controller_inj.install(sut.controller, sut.clock, horizon_s=duration)
+            if schedule.abort_at_s is not None:
+                abort_hook = AbortHook(schedule.abort_at_s)
+                abort_hook.install(sut.clock)
+
+        fuzz_start = sut.clock.now
+        try:
+            with span("campaign.fuzz", device=device, mode=mode.name):
+                fuzz = engine.run(streams, duration)
+        except Exception as exc:
+            # Graceful degradation: under an active fault plan a failing
+            # trial is a *result* (what survived, plus why it stopped),
+            # not an exception.
+            if schedule is None:
+                raise
+            fuzz = FuzzResult(duration=sut.clock.now - fuzz_start)
+            degradation = DegradationRecord(
+                stage="fuzz",
+                reason="error",
+                at_s=round(sut.clock.now - fuzz_start, 6),
+                faults_injected=_injected_total(medium_inj, controller_inj, abort_hook),
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        if degradation is None and abort_hook is not None and abort_hook.fired:
+            degradation = DegradationRecord(
+                stage="fuzz",
+                reason="abort",
+                at_s=schedule.abort_at_s,
+                faults_injected=_injected_total(medium_inj, controller_inj, abort_hook),
+            )
         result = CampaignResult(
             device=device,
             mode=mode,
             duration=duration,
             properties=properties,
             fuzz=fuzz,
+            degradation=degradation,
         )
         if verify:
             with span("campaign.verify", device=device):
@@ -232,6 +290,22 @@ def run_campaign(
     return result
 
 
+def _injected_total(
+    medium_inj: Optional[MediumFaultInjector],
+    controller_inj: Optional[ControllerFaultInjector],
+    abort_hook: Optional[AbortHook],
+) -> int:
+    """How many faults the trial's injectors fired, abort included."""
+    total = 0
+    if medium_inj is not None:
+        total += medium_inj.injected
+    if controller_inj is not None:
+        total += controller_inj.injected
+    if abort_hook is not None and abort_hook.fired:
+        total += 1
+    return total
+
+
 def verify_findings(device: str, seed: int, fuzz: FuzzResult) -> Dict[Signature, VerifiedUnique]:
     """Replay one representative per coarse bug-log group and deduplicate."""
     tester = PacketTester(device=device, seed=seed)
@@ -248,23 +322,39 @@ def run_ablation(
     duration: float = HOUR,
     seed: int = 0,
     workers: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict[Mode, CampaignResult]:
     """The Table VI experiment: all three modes for one hour on one device.
 
     ``workers > 1`` shards the three modes across a process pool; the
-    returned mapping is identical to the serial run either way.
+    returned mapping is identical to the serial run either way —
+    including under a *fault_plan*, which applies to every mode.
     """
     modes = (Mode.FULL, Mode.BETA, Mode.GAMMA)
     if workers <= 1:
         return {
-            mode: run_campaign(device=device, mode=mode, duration=duration, seed=seed)
+            mode: run_campaign(
+                device=device,
+                mode=mode,
+                duration=duration,
+                seed=seed,
+                fault_plan=fault_plan,
+            )
             for mode in modes
         }
 
+    from ..faults.plan import dumps_plan
     from .parallel import CampaignUnit, execute_units
 
+    plan_json = None if fault_plan is None else dumps_plan(fault_plan)
     units = [
-        CampaignUnit(device=device, mode=mode, duration=duration, seed=seed)
+        CampaignUnit(
+            device=device,
+            mode=mode,
+            duration=duration,
+            seed=seed,
+            fault_plan_json=plan_json,
+        )
         for mode in modes
     ]
     results: Dict[Mode, CampaignResult] = {}

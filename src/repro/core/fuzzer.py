@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..faults.injector import AbortSignal
 from ..obs import metrics as obs
 from ..obs.tracing import span
 from ..radio.clock import SimClock
@@ -121,10 +122,31 @@ class FuzzingEngine:
     # -- the main loop (Algorithm 1) -------------------------------------------
 
     def run(self, streams: Iterable[Stream], duration: float) -> FuzzResult:
-        """Fuzz until *duration* simulated seconds elapse or streams end."""
+        """Fuzz until *duration* simulated seconds elapse or streams end.
+
+        A planned :class:`AbortSignal` (repro.faults campaign abort) ends
+        the run early but cleanly: bookkeeping is finished and the partial
+        result returned, for the campaign layer to tag as degraded.
+        """
         result = FuzzResult()
         start = self._clock.now
-        deadline = start + duration
+        try:
+            self._run_streams(streams, start + duration, result, start)
+        except AbortSignal:
+            obs.inc("fuzzer.aborted")
+        result.duration = self._clock.now - start
+        result.timeline.append(
+            TimelinePoint(result.duration, result.packets_sent, len(result.detections))
+        )
+        return result
+
+    def _run_streams(
+        self,
+        streams: Iterable[Stream],
+        deadline: float,
+        result: FuzzResult,
+        start: float,
+    ) -> None:
         seen_groups: set = set()
         for cmdcl_label, generator, window in streams:
             if self._clock.now >= deadline:
@@ -161,11 +183,6 @@ class FuzzingEngine:
                         break
             result.windows_completed += 1
             obs.inc("fuzzer.windows")
-        result.duration = self._clock.now - start
-        result.timeline.append(
-            TimelinePoint(result.duration, result.packets_sent, len(result.detections))
-        )
-        return result
 
     # -- helpers --------------------------------------------------------------------
 
@@ -226,10 +243,13 @@ class FuzzingEngine:
 
     def _recover(self, observation: Observation) -> None:
         if observation.kind is ObservedKind.HANG:
+            obs.inc("fuzzer.recovery.power_cycle")
             self._observer.power_cycle()
         elif observation.kind in (ObservedKind.HOST_CRASH, ObservedKind.HOST_DOS):
+            obs.inc("fuzzer.recovery.restart_host")
             self._observer.restart_host()
         else:
+            obs.inc("fuzzer.recovery.restore_memory")
             self._observer.restore_memory()
 
     def _pad(self, test_start: float) -> None:

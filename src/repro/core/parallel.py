@@ -26,8 +26,13 @@ JSON-safe data), never live simulator objects, so nothing heavyweight —
 in particular no :class:`~repro.zwave.registry.SpecRegistry` — crosses a
 process boundary.
 
-``fault`` on a unit is test-only fault injection (see
-``tests/test_parallel_faults.py``); production campaigns leave it unset.
+Fault injection rides the unit itself: ``fault`` carries a
+:mod:`repro.faults.worker` token ("raise", "exit", "hang:<s>", ...)
+applied inside the worker before the campaign starts, and
+``fault_plan_json`` a serialised :class:`~repro.faults.plan.FaultPlan`
+the worker compiles against the unit's seed for in-simulation faults.
+Both are ``None`` in production campaigns.  Retry rounds can be spaced
+by a seeded :class:`~repro.faults.resilience.BackoffPolicy`.
 """
 
 from __future__ import annotations
@@ -40,6 +45,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import CampaignError
+from ..faults.resilience import BackoffPolicy, backoff_delays
+from ..faults.worker import apply_worker_fault
+from ..obs import metrics as obs
 from .campaign import Mode, run_campaign
 
 #: Failure categories recorded on :class:`UnitFailure`.
@@ -65,9 +73,14 @@ class CampaignUnit:
     queue_strategy: str = "priority"
     passive_duration: float = 120.0
     verify: bool = True
-    #: Test-only fault injection token (e.g. "raise", "exit",
-    #: "raise-once:<path>", "hang:<seconds>"); None in production.
+    #: Worker-layer fault token (see :mod:`repro.faults.worker`, e.g.
+    #: "raise", "exit", "raise-once:<path>", "hang:<seconds>"); None in
+    #: production.
     fault: Optional[str] = None
+    #: Serialised :class:`~repro.faults.plan.FaultPlan` for in-simulation
+    #: fault injection (JSON string — keeps the unit hashable and
+    #: picklable); None in production.
+    fault_plan_json: Optional[str] = None
 
     def label(self) -> str:
         return f"{self.kind}:{self.device}:{self.mode.name}:seed={self.seed}"
@@ -103,31 +116,6 @@ class UnitOutcome:
 # -- worker side ---------------------------------------------------------------
 
 
-def _apply_fault(fault: Optional[str]) -> None:
-    """Honour a test-only fault-injection token inside the worker."""
-    if not fault:
-        return
-    if fault == "raise":
-        raise RuntimeError("injected fault: raise")
-    if fault == "exit":
-        os._exit(17)
-    if fault.startswith("hang:"):
-        time.sleep(float(fault.split(":", 1)[1]))
-        return
-    if fault.startswith("raise-once:") or fault.startswith("exit-once:"):
-        action, marker = fault.split(":", 1)
-        # The marker file is cross-process state: the first attempt creates
-        # it and fails, the retry sees it and proceeds normally.
-        if not os.path.exists(marker):
-            with open(marker, "w", encoding="utf-8") as handle:
-                handle.write("fault fired\n")
-            if action == "raise-once":
-                raise RuntimeError("injected fault: raise-once")
-            os._exit(17)
-        return
-    raise CampaignError(f"unknown fault token {fault!r}")
-
-
 def execute_unit(unit: CampaignUnit) -> Any:
     """Run one unit in-process and return the live result object.
 
@@ -136,7 +124,12 @@ def execute_unit(unit: CampaignUnit) -> Any:
     against the pooled (wire round-tripped) path to prove the codec is
     lossless.
     """
-    _apply_fault(unit.fault)
+    apply_worker_fault(unit.fault)
+    fault_plan = None
+    if unit.fault_plan_json is not None:
+        from ..faults.plan import loads_plan
+
+        fault_plan = loads_plan(unit.fault_plan_json)
     if unit.kind == "zcover":
         return run_campaign(
             device=unit.device,
@@ -146,6 +139,7 @@ def execute_unit(unit: CampaignUnit) -> Any:
             passive_duration=unit.passive_duration,
             verify=unit.verify,
             queue_strategy=unit.queue_strategy,
+            fault_plan=fault_plan,
         )
     if unit.kind == "vfuzz":
         from ..simulator.testbed import build_sut
@@ -218,12 +212,30 @@ def parallel_supported() -> bool:
     return True
 
 
-def _run_serial(units: Sequence[CampaignUnit], retries: int) -> List[UnitOutcome]:
+def _retry_delays(
+    backoff: Optional[BackoffPolicy], retries: int
+) -> tuple:
+    """The planned (deterministic) spacing before each retry round."""
+    if backoff is None or retries <= 0:
+        return (0.0,) * max(retries, 0)
+    delays = backoff_delays(backoff, retries)
+    obs.inc("parallel.backoff_planned_ms", int(sum(delays) * 1000))
+    return delays
+
+
+def _run_serial(
+    units: Sequence[CampaignUnit],
+    retries: int,
+    backoff: Optional[BackoffPolicy] = None,
+) -> List[UnitOutcome]:
+    delays = _retry_delays(backoff, retries)
     outcomes = []
     for unit in units:
         outcome = UnitOutcome(unit=unit)
         for attempt in range(1, retries + 2):
             outcome.attempts = attempt
+            if attempt > 1 and delays[attempt - 2] > 0.0:
+                time.sleep(delays[attempt - 2])
             try:
                 outcome.result = execute_unit(unit)
                 outcome.failure = None
@@ -289,6 +301,7 @@ def execute_units(
     workers: int = 1,
     timeout: Optional[float] = None,
     retries: int = 1,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> List[UnitOutcome]:
     """Run *units*, sharded over *workers* processes, in canonical order.
 
@@ -300,9 +313,12 @@ def execute_units(
     runs everything serially in-process.  *timeout* bounds the wall-clock
     wait for each unit's result per attempt; *retries* is the number of
     extra attempts a failing unit gets before its failure is surfaced.
+    *backoff* spaces the retry rounds with seeded-jitter delays (see
+    :mod:`repro.faults.resilience`) instead of immediate resubmission;
+    the delay sequence is pure in the policy, never in wall clock.
     """
     if workers <= 1 or len(units) <= 1 or not parallel_supported():
-        return _run_serial(units, retries)
+        return _run_serial(units, retries, backoff)
 
     outcomes = [UnitOutcome(unit=unit) for unit in units]
     pending: Dict[int, UnitOutcome] = dict(enumerate(outcomes))
@@ -311,7 +327,7 @@ def execute_units(
     try:
         pool = ProcessPoolExecutor(max_workers=pool_size)
     except (OSError, ImportError, NotImplementedError):
-        return _run_serial(units, retries)
+        return _run_serial(units, retries, backoff)
     try:
         _collect_round(pool, pending, timeout)
     finally:
@@ -319,9 +335,12 @@ def execute_units(
 
     # Retry rounds: each surviving unit runs in its own fresh single-worker
     # pool so a persistently crashing shard is isolated from the others.
-    for _ in range(retries):
+    delays = _retry_delays(backoff, retries)
+    for round_index in range(retries):
         if not pending:
             break
+        if delays[round_index] > 0.0:
+            time.sleep(delays[round_index])
         for index in list(pending):
             retry_pool = ProcessPoolExecutor(max_workers=1)
             try:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from typing import Any, List, Optional, Tuple
 
+from ..faults.plan import DegradationRecord
 from ..obs.metrics import MetricsSnapshot, SpanStats
 from .baseline import VFuzzResult
 from .buglog import BugLog, BugRecord
@@ -35,8 +36,9 @@ from .tester import Signature, VerifiedFinding, VerifiedUnique
 
 #: Wire-format version, bumped on incompatible layout changes so stale
 #: shards from a different code revision are rejected instead of merged.
-#: v2 added the per-campaign ``metrics`` snapshot (repro.obs).
-WIRE_VERSION = 2
+#: v2 added the per-campaign ``metrics`` snapshot (repro.obs); v3 the
+#: ``degradation`` record (repro.faults graceful degradation).
+WIRE_VERSION = 3
 
 
 class WireError(ValueError):
@@ -208,6 +210,9 @@ def campaign_to_wire(result: CampaignResult) -> dict:
             for signature, unique in result.unique.items()
         ],
         "metrics": snapshot_to_wire(result.metrics),
+        "degradation": None
+        if result.degradation is None
+        else result.degradation.to_wire(),
     }
 
 
@@ -217,6 +222,7 @@ def campaign_from_wire(data: dict) -> CampaignResult:
         raise WireError(
             f"wire version {data.get('wire_version')!r} != expected {WIRE_VERSION}"
         )
+    degradation = data.get("degradation")
     return CampaignResult(
         device=data["device"],
         mode=Mode[data["mode"]],
@@ -225,6 +231,9 @@ def campaign_from_wire(data: dict) -> CampaignResult:
         fuzz=fuzz_from_wire(data["fuzz"]),
         unique=dict(_unique_from_wire(entry) for entry in data["unique"]),
         metrics=snapshot_from_wire(data.get("metrics")),
+        degradation=None
+        if degradation is None
+        else DegradationRecord.from_wire(degradation),
     )
 
 

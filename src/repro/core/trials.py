@@ -165,19 +165,37 @@ def trial_units(
     n_trials: int,
     duration: float,
     base_seed: int,
+    fault_plan: "Optional[FaultPlan]" = None,
 ) -> "List[CampaignUnit]":
-    """The campaign units of one trial series, in canonical seed order."""
+    """The campaign units of one trial series, in canonical seed order.
+
+    With *fault_plan*, every unit carries the serialised plan (the worker
+    compiles it against its own seed) plus its worker-layer fault token —
+    resolved here, on the parent side, because targeting by
+    ``unit_index`` needs the unit's place in the series.
+    """
+    from ..faults.plan import dumps_plan
+    from ..faults.schedule import FaultPlanner
     from .parallel import CampaignUnit
 
-    return [
-        CampaignUnit(
-            device=device,
-            mode=mode,
-            duration=duration,
-            seed=base_seed + SEED_STRIDE * trial_index,
+    plan_json = None if fault_plan is None else dumps_plan(fault_plan)
+    units = []
+    for trial_index in range(n_trials):
+        seed = base_seed + SEED_STRIDE * trial_index
+        token = None
+        if fault_plan is not None:
+            token = FaultPlanner(fault_plan).compile(seed).worker_token(trial_index)
+        units.append(
+            CampaignUnit(
+                device=device,
+                mode=mode,
+                duration=duration,
+                seed=seed,
+                fault=token,
+                fault_plan_json=plan_json,
+            )
         )
-        for trial_index in range(n_trials)
-    ]
+    return units
 
 
 def run_trials(
@@ -188,13 +206,21 @@ def run_trials(
     base_seed: int = 0,
     workers: int = 1,
     timeout: Optional[float] = None,
+    fault_plan: "Optional[FaultPlan]" = None,
+    backoff: "Optional[BackoffPolicy]" = None,
 ) -> TrialSummary:
     """Run *n_trials* independent campaigns with distinct seeds.
 
     ``workers > 1`` shards the trials across a process pool; the result is
     identical to the serial run (``tests/test_parallel_determinism.py``).
+
+    With *fault_plan* every trial runs under the plan's deterministic
+    fault injection (:mod:`repro.faults`).  A plan forces even the
+    serial path through the unit executor so worker-layer faults and
+    retry accounting apply identically at every worker count — the
+    resilience audit's serial/parallel byte-identity depends on it.
     """
-    if workers <= 1:
+    if workers <= 1 and fault_plan is None and backoff is None:
         # The historical serial loop, kept free of executor machinery so
         # the parallel path has a reference output to be compared against.
         summary = TrialSummary(device=device, mode=mode, duration=duration)
@@ -218,6 +244,8 @@ def run_trials(
     from .parallel import execute_units
     from .resultio import merge_trials
 
-    units = trial_units(device, mode, n_trials, duration, base_seed)
-    outcomes = execute_units(units, workers=workers, timeout=timeout)
+    units = trial_units(device, mode, n_trials, duration, base_seed, fault_plan)
+    outcomes = execute_units(
+        units, workers=workers, timeout=timeout, backoff=backoff
+    )
     return merge_trials(device, mode, duration, outcomes)

@@ -1,0 +1,153 @@
+"""Fault injectors: the small hook points the simulator exposes.
+
+Rather than monkeypatching simulator internals, each layer consults an
+optional injector attribute that defaults to ``None`` (a no-op):
+
+* :class:`RadioMedium` calls ``fault_injector.on_transmit(...)`` once
+  per transmission and applies the returned :class:`MediumAction`;
+* :class:`VirtualController` calls ``fault_injector.ack_delay()`` before
+  transmitting a MAC acknowledgement; periodic firmware faults (hang,
+  spurious reset) are scheduled on the campaign's :class:`SimClock` by
+  :meth:`ControllerFaultInjector.install`;
+* the fuzzing engine re-raises nothing for a planned abort — the
+  :class:`AbortHook` raises :class:`AbortSignal` from a clock callback,
+  the engine catches it, finishes its bookkeeping and returns the
+  partial result, and the campaign tags it with a degradation record.
+
+Every injection increments an ``faults.injected.<layer>.<kind>`` counter
+on the active metrics collector, so ``--metrics-out`` documents a
+resilience audit's exact fault mix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+from ..obs import metrics as obs
+from ..radio.clock import SimClock
+from .plan import FaultSpec
+from .schedule import FaultSchedule
+
+
+class AbortSignal(ReproError):
+    """A planned campaign abort fired; carries no partial state itself."""
+
+
+@dataclass
+class MediumAction:
+    """What the medium should do to one transmission."""
+
+    drop: bool = False
+    corrupt: Optional[bytes] = None  # replacement frame bytes
+    extra_delay: float = 0.0
+    duplicate: bool = False
+
+
+class MediumFaultInjector:
+    """Per-transmission drop/corrupt/duplicate/delay decisions.
+
+    One seeded generator consumed in transmission order; the simulation
+    is single-threaded, so the decision stream is a pure function of
+    ``(plan, seed)``.
+    """
+
+    def __init__(self, specs: Tuple[FaultSpec, ...], rng: random.Random):
+        self._specs = specs
+        self._rng = rng
+        self.injected = 0
+
+    def on_transmit(self, sender: str, frame_bytes: bytes) -> Optional[MediumAction]:
+        """The action for this transmission, or ``None`` when no fault hit."""
+        action = MediumAction()
+        hit = False
+        for spec in self._specs:
+            if spec.rate <= 0.0 or self._rng.random() >= spec.rate:
+                continue
+            hit = True
+            self.injected += 1
+            obs.inc(f"faults.injected.medium.{spec.kind}")
+            if spec.kind == "drop":
+                action.drop = True
+            elif spec.kind == "corrupt":
+                action.corrupt = self._flip_one_byte(frame_bytes)
+            elif spec.kind == "duplicate":
+                action.duplicate = True
+            elif spec.kind == "delay":
+                action.extra_delay += spec.magnitude
+        return action if hit else None
+
+    def _flip_one_byte(self, frame_bytes: bytes) -> bytes:
+        if not frame_bytes:
+            return frame_bytes
+        index = self._rng.randrange(len(frame_bytes))
+        mutated = bytearray(frame_bytes)
+        mutated[index] ^= 1 << self._rng.randrange(8)
+        return bytes(mutated)
+
+
+class ControllerFaultInjector:
+    """Firmware-level hang / spurious-reset / slow-ack injection."""
+
+    def __init__(self, schedule: FaultSchedule):
+        self._schedule = schedule
+        self._rng = schedule.controller_rng()
+        self._controller = None
+        self.injected = 0
+
+    def install(self, controller, clock: SimClock, horizon_s: float) -> None:
+        """Attach to *controller* and book every periodic event on *clock*.
+
+        Event times are relative to installation (the fuzz-phase start).
+        They are computed (``k * every_s``), not drawn, so horizon and
+        booking order cannot perturb the rate-fault decision stream.
+        """
+        self._controller = controller
+        controller.fault_injector = self
+        for event in self._schedule.controller_events(horizon_s):
+            clock.schedule(event.at_s, self._firer(event.kind, event.magnitude))
+
+    def _firer(self, kind: str, magnitude: float):
+        def fire() -> None:
+            self.injected += 1
+            obs.inc(f"faults.injected.controller.{kind}")
+            if kind == "hang":
+                self._controller.inject_hang(magnitude)
+            elif kind == "spurious-reset":
+                self._controller.spurious_reset()
+
+        return fire
+
+    def ack_delay(self) -> float:
+        """Extra delay before the next MAC ACK transmission, in seconds."""
+        delay = 0.0
+        for spec in self._schedule.controller_rate_specs:
+            if spec.kind != "slow-ack" or spec.rate <= 0.0:
+                continue
+            if self._rng.random() < spec.rate:
+                self.injected += 1
+                obs.inc("faults.injected.controller.slow-ack")
+                delay += spec.magnitude
+        return delay
+
+
+class AbortHook:
+    """Books the planned campaign abort and remembers whether it fired."""
+
+    def __init__(self, at_s: float):
+        self.at_s = at_s
+        self.fired = False
+        self.fired_at: float = -1.0
+
+    def install(self, clock: SimClock) -> None:
+        """Raise :class:`AbortSignal` *at_s* seconds from ``clock.now``."""
+
+        def fire() -> None:
+            self.fired = True
+            self.fired_at = clock.now
+            obs.inc("faults.injected.campaign.abort")
+            raise AbortSignal(f"planned campaign abort at t={clock.now:.1f}s")
+
+        clock.schedule(self.at_s, fire)

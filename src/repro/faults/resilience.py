@@ -1,0 +1,54 @@
+"""Campaign-level resilience: seeded-jitter retry backoff with budgets.
+
+The parallel executor retries failed units; under real worker crashes a
+thundering-herd retry (every survivor immediately resubmitted) is the
+classic way to turn one flaky shard into a broken session.  A
+:class:`BackoffPolicy` spaces the retry rounds out instead — exponential
+growth, a per-delay cap, a total budget cap, and *seeded* jitter so the
+full delay sequence is a pure function of the policy (the property suite
+pins that), never of wall-clock sampling.
+
+The default policy sleeps zero seconds, so nothing slows down unless a
+caller opts in; the computed (deterministic) delays are still recorded
+as ``parallel.backoff_planned_ms`` for the audit trail.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from .schedule import derive_seed
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Retry spacing: ``min(cap, base * factor**round) * jitter``.
+
+    ``budget_s`` caps the *cumulative* planned delay: rounds whose delay
+    would exceed the remaining budget are clamped to it, and every round
+    after exhaustion gets zero.  ``jitter`` scales each delay by a
+    seeded uniform draw from ``[1 - jitter, 1 + jitter]``.
+    """
+
+    base_s: float = 0.0
+    factor: float = 2.0
+    cap_s: float = 1.0
+    jitter: float = 0.5
+    budget_s: float = 5.0
+    seed: int = 0
+
+
+def backoff_delays(policy: BackoffPolicy, rounds: int) -> Tuple[float, ...]:
+    """The planned delay before each retry round; pure in (policy, rounds)."""
+    rng = random.Random(derive_seed(policy.seed, "faults.backoff"))
+    delays = []
+    remaining = policy.budget_s
+    for round_index in range(rounds):
+        raw = min(policy.cap_s, policy.base_s * (policy.factor ** round_index))
+        jittered = raw * (1.0 + policy.jitter * (2.0 * rng.random() - 1.0))
+        delay = max(0.0, min(jittered, remaining))
+        delays.append(round(delay, 9))
+        remaining -= delay
+    return tuple(delays)

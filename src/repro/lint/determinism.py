@@ -31,6 +31,14 @@ Rules
     scheduling — can differ between runs; wrap the expression in
     ``sorted(...)``.
 
+``D104``
+    Call to the builtin ``hash()``.  Since PEP 456, ``hash()`` of str and
+    bytes is randomised per process (``PYTHONHASHSEED``), so deriving
+    seeds, shard keys or any persisted value from it silently breaks
+    cross-process determinism — exactly what bit the fault planner's
+    first seed-derivation draft.  Use ``zlib.crc32`` or a ``hashlib``
+    digest instead.
+
 Modules that *own* entropy (the allowlist) are exempt from D101/D102;
 everything else must take a ``random.Random`` from its caller or seed its
 fallback explicitly.
@@ -115,6 +123,7 @@ class DeterminismAnalyzer(Analyzer):
         "D101": "call to a process-global entropy or wall-clock source",
         "D102": "unseeded random.Random() / any random.SystemRandom construction",
         "D103": "iteration over an unordered set expression (wrap in sorted())",
+        "D104": "call to builtin hash() (randomised per process by PYTHONHASHSEED)",
     }
 
     def __init__(self, entropy_owners: FrozenSet[str] = DEFAULT_ENTROPY_OWNERS):
@@ -129,6 +138,7 @@ class DeterminismAnalyzer(Analyzer):
             for node in ast.walk(source.tree):
                 if isinstance(node, ast.Call) and not exempt:
                     findings.extend(self._check_call(source, node, aliases))
+                    findings.extend(self._check_builtin_hash(source, node))
                 findings.extend(self._check_set_iteration(source, node))
         return findings
 
@@ -189,6 +199,26 @@ class DeterminismAnalyzer(Analyzer):
                 col=node.col_offset,
                 message=violation,
                 hint=hint,
+            )
+        ]
+
+    # -- D104 ------------------------------------------------------------------
+
+    def _check_builtin_hash(
+        self, source: SourceFile, node: ast.Call
+    ) -> List[LintFinding]:
+        """Flag bare ``hash(...)`` calls (the builtin, not methods)."""
+        if not (isinstance(node.func, ast.Name) and node.func.id == "hash"):
+            return []
+        return [
+            LintFinding(
+                rule="D104",
+                severity=Severity.ERROR,
+                path=source.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message="builtin hash() is randomised per process (PYTHONHASHSEED)",
+                hint="use zlib.crc32 or a hashlib digest for stable values",
             )
         ]
 

@@ -105,6 +105,9 @@ class RadioMedium:
         self._deliveries = 0
         self._losses = 0
         self._collision_count = 0
+        #: Optional fault-injection hook (repro.faults.MediumFaultInjector);
+        #: consulted once per transmission when set.
+        self.fault_injector = None
 
     # -- attachment -------------------------------------------------------------
 
@@ -171,6 +174,18 @@ class RadioMedium:
             raise RadioError(f"unknown transmitter {sender!r}")
         self._transmissions += 1
         airtime = airtime_seconds(frame_bytes, rate_kbaud)
+        extra_delay = 0.0
+        duplicate = False
+        if self.fault_injector is not None:
+            action = self.fault_injector.on_transmit(sender, frame_bytes)
+            if action is not None:
+                if action.drop:
+                    self._losses += 1
+                    return airtime
+                if action.corrupt is not None:
+                    frame_bytes = action.corrupt
+                extra_delay = action.extra_delay
+                duplicate = action.duplicate
         if self._collisions and self._collides(airtime):
             return airtime
         phy_bits = encode_phy(frame_bytes, rate_kbaud) if self._bit_accurate else None
@@ -187,8 +202,14 @@ class RadioMedium:
             if self._rng.random() < loss_probability(rssi):
                 self._losses += 1
                 continue
+            # A duplicated transmission arrives a second time one airtime
+            # after the original (back-to-back repeat on the channel).
+            offsets = (extra_delay, extra_delay + airtime) if duplicate else (extra_delay,)
             if phy_bits is None:
-                self._schedule_delivery(endpoint, frame_bytes, None, rssi, airtime, rate_kbaud, 0)
+                for offset in offsets:
+                    self._schedule_delivery(
+                        endpoint, frame_bytes, None, rssi, airtime, rate_kbaud, 0, offset
+                    )
                 continue
             delivered_bits = phy_bits
             bit_errors = 0
@@ -201,9 +222,11 @@ class RadioMedium:
                 if flips:
                     delivered_bits = corrupt_bits(phy_bits, flips)
                     bit_errors = len(flips)
-            self._schedule_delivery(
-                endpoint, None, delivered_bits, rssi, airtime, rate_kbaud, bit_errors
-            )
+            for offset in offsets:
+                self._schedule_delivery(
+                    endpoint, None, delivered_bits, rssi, airtime, rate_kbaud,
+                    bit_errors, offset,
+                )
         return airtime
 
     def _collides(self, airtime: float) -> bool:
@@ -237,6 +260,7 @@ class RadioMedium:
         airtime: float,
         rate_kbaud: float,
         bit_errors: int,
+        extra_delay: float = 0.0,
     ) -> None:
         def deliver() -> None:
             if not endpoint.enabled:
@@ -253,12 +277,12 @@ class RadioMedium:
                 Reception(
                     raw=raw,
                     rssi_dbm=rssi,
-                    timestamp=self._clock.now + airtime,
+                    timestamp=self._clock.now + airtime + extra_delay,
                     rate_kbaud=rate_kbaud,
                     bit_errors=bit_errors,
                 )
             )
 
-        event_id = self._clock.schedule(airtime, deliver)
+        event_id = self._clock.schedule(airtime + extra_delay, deliver)
         if self._collisions:
             self._current_transmission["events"].append(event_id)

@@ -140,6 +140,9 @@ class VirtualController:
         #: report — the hook the Serial API adapter uses to surface
         #: APPLICATION_COMMAND_HANDLER events to the host program.
         self.apl_listeners: List = []
+        #: Optional fault-injection hook (repro.faults.ControllerFaultInjector);
+        #: consulted for an ACK delay when set.
+        self.fault_injector = None
         medium.attach(name, position, region=_default_region(), callback=self._on_receive)
 
     # -- introspection the harness uses ------------------------------------------
@@ -220,6 +223,16 @@ class VirtualController:
         self._powered = powered
         self._medium.set_enabled(self.name, powered)
 
+    # -- fault-injection entry points --------------------------------------------
+
+    def inject_hang(self, duration_s: float) -> None:
+        """A planned firmware hang (repro.faults controller 'hang' kind)."""
+        self._hang(duration_s)
+
+    def spurious_reset(self) -> None:
+        """A planned spontaneous reboot (controller 'spurious-reset' kind)."""
+        self.power_cycle()
+
     def start_polling(self, targets: List[int], interval: float) -> None:
         """Periodically poll slave devices (generates sniffable traffic)."""
         self._poll_targets = list(targets)
@@ -267,7 +280,15 @@ class VirtualController:
     def _send_ack(self, frame: ZWaveFrame) -> None:
         self.stats.acked += 1
         obs.inc("controller.acks_tx")
-        self._medium.transmit(self.name, frame.ack().encode(), rate_kbaud=100.0)
+        raw = frame.ack().encode()
+        if self.fault_injector is not None:
+            delay = self.fault_injector.ack_delay()
+            if delay > 0.0:
+                self._clock.schedule(
+                    delay, lambda: self._medium.transmit(self.name, raw, 100.0)
+                )
+                return
+        self._medium.transmit(self.name, raw, rate_kbaud=100.0)
 
     # -- receive path -------------------------------------------------------------------
 

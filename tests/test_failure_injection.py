@@ -1,4 +1,12 @@
-"""Failure injection: the framework keeps working when the world breaks."""
+"""Failure injection: the framework keeps working when the world breaks.
+
+Faults are declared as :mod:`repro.faults` plans, not conjured from
+magic distances or monkeypatched internals.  The resilience matrix at
+the bottom is the core guarantee: for every fault family, a campaign
+series finishes (degraded or with surfaced failures, never wedged) and
+its merged metrics are byte-identical between the serial and the
+sharded executor.
+"""
 
 import random
 
@@ -8,7 +16,18 @@ from repro.core.buglog import BugLog
 from repro.core.campaign import Mode, run_campaign
 from repro.core.fuzzer import FuzzerConfig, FuzzingEngine, psm_streams
 from repro.core.mutation import PositionSensitiveMutator
+from repro.core.parallel import parallel_supported
 from repro.core.tester import PacketTester
+from repro.core.trials import run_trials
+from repro.faults import (
+    FaultPlan,
+    FaultPlanner,
+    FaultSpec,
+    MediumFaultInjector,
+    flaky_controller_plan,
+    lossy_link_plan,
+)
+from repro.faults.report import build_chaos_document, dumps_chaos_document
 from repro.radio.medium import RadioMedium
 from repro.radio.clock import SimClock
 from repro.simulator.testbed import build_sut
@@ -17,24 +36,34 @@ from repro.zwave.registry import load_full_registry
 
 class TestLossyLinks:
     def test_fuzzing_survives_a_marginal_link(self):
-        """At 85 m most frames drop; the engine must not wedge or crash.
+        """Under a lossy-link plan most frames drop; the engine must not
+        wedge or crash.
 
         Lost pings read as hangs, so the engine power-cycles a healthy
         controller now and then — wasteful but safe, exactly what the
         paper's operator would see with a badly placed antenna.
         """
-        sut = build_sut("D1", seed=13, attacker_distance_m=85.0)
+        schedule = FaultPlanner(lossy_link_plan(0.6, 0.2)).compile(13)
+        sut = build_sut("D1", seed=13)
+        sut.medium.fault_injector = MediumFaultInjector(
+            schedule.medium_specs, schedule.medium_rng()
+        )
         engine = FuzzingEngine(sut, FuzzerConfig())
         mutator = PositionSensitiveMutator(load_full_registry(), random.Random(13))
         result = engine.run(psm_streams([0x20, 0x25], mutator, 30.0, False), 120.0)
         assert result.packets_sent > 0
         assert not sut.controller.hung
+        assert sut.medium.fault_injector.injected > 0
 
     def test_campaign_on_the_far_edge_still_finds_bugs(self):
-        sut_distance = 60.0  # lossy but workable
+        # The marginal link is a fault plan now, not a magic attacker
+        # distance — and the campaign proves the faults actually applied.
+        plan = lossy_link_plan(drop_rate=0.25, corrupt_rate=0.05)
         result = run_campaign(
-            "D1", Mode.FULL, duration=900.0, seed=13,
+            "D1", Mode.FULL, duration=900.0, seed=13, fault_plan=plan
         )
+        assert result.metrics.counters["faults.injected.medium.drop"] > 0
+        assert result.metrics.counters["faults.injected.medium.corrupt"] > 0
         assert result.unique_vulnerabilities >= 5
 
 
@@ -109,3 +138,78 @@ class TestCongestedMedium:
         clock.advance(5.0)
         # Every transmission reaches the other 49 endpoints.
         assert received["count"] == 20 * 49
+
+
+# -- the resilience matrix -----------------------------------------------------
+
+#: One plan per fault family.  The worker plan targets unit 0 only so the
+#: second trial survives; "raise" (not "crash") keeps the serial path —
+#: which runs the fault in-process — alive.
+FAMILY_PLANS = {
+    "medium": lossy_link_plan(drop_rate=0.3, corrupt_rate=0.1),
+    "controller": flaky_controller_plan(
+        hang_every_s=60.0, hang_s=2.0, reset_every_s=150.0
+    ),
+    "worker": FaultPlan(
+        name="worker-raise-first",
+        faults=(FaultSpec("worker", "raise", unit_index=0),),
+    ),
+    "campaign": FaultPlan(
+        name="abort-early",
+        faults=(FaultSpec("campaign", "abort", at_s=120.0),),
+    ),
+}
+
+DURATION = 300.0
+TRIALS = 2
+
+
+def _chaos_doc(plan, workers):
+    summary = run_trials(
+        device="D1",
+        mode=Mode.FULL,
+        n_trials=TRIALS,
+        duration=DURATION,
+        base_seed=0,
+        workers=workers,
+        fault_plan=plan,
+    )
+    return summary, dumps_chaos_document(build_chaos_document(summary, plan, 0))
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_PLANS))
+class TestResilienceMatrix:
+    def test_campaigns_finish_and_shard_identically(self, family):
+        """Fault family x {serial, workers=2}: campaigns always finish,
+        surviving trials are merged, and the canonical chaos document —
+        merged metrics included — is byte-identical across executors."""
+        plan = FAMILY_PLANS[family]
+        serial_summary, serial_doc = _chaos_doc(plan, workers=1)
+
+        # The series completed: every unit either produced a trial or a
+        # structured failure — nothing wedged, nothing vanished.
+        assert serial_summary.n_trials + len(serial_summary.failures) == TRIALS
+        if family == "worker":
+            # Unit 0's injected raise exhausts its retries and surfaces;
+            # the other trial must survive untouched.
+            assert len(serial_summary.failures) == 1
+            assert serial_summary.n_trials == TRIALS - 1
+        else:
+            assert not serial_summary.failures
+        if family == "campaign":
+            assert all(
+                t.degradation is not None and t.degradation.reason == "abort"
+                for t in serial_summary.trials
+            )
+
+        if not parallel_supported():
+            pytest.skip("no process pool here")
+        _, parallel_doc = _chaos_doc(plan, workers=2)
+        assert serial_doc == parallel_doc
+
+    def test_reports_are_reproducible(self, family):
+        """Same plan + seed: byte-identical documents on repeated runs."""
+        plan = FAMILY_PLANS[family]
+        _, first = _chaos_doc(plan, workers=1)
+        _, second = _chaos_doc(plan, workers=1)
+        assert first == second
