@@ -1,0 +1,44 @@
+"""Hot-path throughput via the ``repro.perf`` harness.
+
+Runs the same seeded workloads ``zcover perf`` times — frame codec
+round-trips, mutation batch generation, controller dispatch, the
+end-to-end campaign frames/sec figure, and the result-wire round-trip —
+under the benchmark timer, and checks the determinism contract: each
+workload's checksum is identical on every repetition.
+"""
+
+from repro.perf import (
+    WORKLOADS,
+    report_to_document,
+    run_bench,
+    validate_document,
+)
+
+from conftest import once
+
+
+def _run_fast():
+    return run_bench(names=None, fast=True, repeats=1)
+
+
+def bench_perf_fast_suite(benchmark):
+    """One fast-mode pass over every registered workload."""
+    report = once(benchmark, _run_fast)
+    names = {t.name for t in report.timings}
+    assert names == set(WORKLOADS) | {"calibration"}
+    for timing in report.timings:
+        assert timing.ops > 0 and timing.best_ns > 0
+
+
+def bench_perf_document_roundtrip(benchmark):
+    """Document assembly + validation on a real fast-mode report."""
+    report = _run_fast()
+
+    def build():
+        doc = report_to_document(report, meta={"kind": "bench-smoke"})
+        validate_document(doc)
+        return doc
+
+    doc = once(benchmark, build)
+    assert doc["schema"] == "zcover-perf-bench"
+    assert len(doc["results"]) == len(report.timings)

@@ -503,6 +503,68 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Run the hot-path microbenchmarks and gate against a baseline.
+
+    Emits the canonical ``BENCH_core.json`` (schema-v1).  With
+    ``--baseline`` the run is compared under the tolerance gate and any
+    regression makes the command exit non-zero.
+    """
+    from .perf import (
+        PerfError,
+        compare,
+        dumps_document,
+        load_document as load_perf_document,
+        render_text as render_perf_text,
+        report_to_document,
+        run_bench,
+        write_document as write_perf_document,
+    )
+
+    names = None
+    if args.workloads:
+        names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    try:
+        report = run_bench(names=names, fast=args.fast, repeats=args.repeats)
+    except PerfError as exc:
+        print(f"perf: {exc}", file=sys.stderr)
+        return 2
+    doc = report_to_document(report)
+    if args.format == "json":
+        sys.stdout.write(dumps_document(doc))
+    else:
+        print(render_perf_text(doc))
+    if args.out:
+        write_perf_document(doc, args.out)
+        print(f"bench document written to {args.out}")
+    if args.update_baseline:
+        if not args.baseline:
+            print("perf: --update-baseline requires --baseline", file=sys.stderr)
+            return 2
+        write_perf_document(doc, args.baseline)
+        print(f"baseline updated at {args.baseline}")
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_perf_document(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"perf: no baseline at {args.baseline} "
+                "(run with --update-baseline to create one)",
+                file=sys.stderr,
+            )
+            return 2
+        regressions = compare(doc, baseline, tolerance=args.tolerance)
+        if regressions:
+            print(f"\n{len(regressions)} regression(s) vs {args.baseline}:")
+            for reg in regressions:
+                print(f"  [{reg.kind}] {reg.name}: {reg.detail}")
+            return 1
+        print(f"\nno regressions vs {args.baseline} "
+              f"(tolerance {args.tolerance * 100.0:.0f}%)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
@@ -625,6 +687,37 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--out", help="write the rendering here (default: stdout)")
     obs.add_argument("--trace-out", help="export the span ring as JSON lines here")
     obs.set_defaults(func=cmd_obs)
+
+    perf = sub.add_parser(
+        "perf", help="hot-path microbenchmarks with a regression gate"
+    )
+    perf.add_argument(
+        "--fast", action="store_true", help="smaller workloads (CI and smoke tests)"
+    )
+    perf.add_argument(
+        "--workloads",
+        help="comma-separated workload subset (calibration always included)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3, help="repetitions per workload; best-of wins"
+    )
+    perf.add_argument("--format", choices=("text", "json"), default="text")
+    perf.add_argument("--out", help="write BENCH_core.json here")
+    perf.add_argument(
+        "--baseline", help="compare against this committed BENCH_core.json"
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional growth of calibration-normalised cost (0.25 = +25%%)",
+    )
+    perf.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with this run instead of gating",
+    )
+    perf.set_defaults(func=cmd_perf)
 
     lint = sub.add_parser("lint", help="static analysis of the repro source tree")
     lint.add_argument("--format", choices=("text", "json"), default="text")

@@ -158,10 +158,10 @@ class FuzzingEngine:
                     if self._clock.now >= deadline:
                         break
                     test_start = self._clock.now
-                    self._inject(case, result)
+                    payload = self._inject(case, result)
                     observation = self._observe()
                     if observation.finding:
-                        self._record(case, observation, result, start)
+                        self._record(case, payload, observation, result, start)
                         self._recover(observation)
                         # Only a *novel* finding keeps the class on the fuzzing
                         # slot; re-triggering known crashes must not starve the
@@ -186,7 +186,12 @@ class FuzzingEngine:
 
     # -- helpers --------------------------------------------------------------------
 
-    def _inject(self, case: TestCase, result: FuzzResult) -> None:
+    def _inject(self, case: TestCase, result: FuzzResult) -> bytes:
+        """Send one test case; returns its encoded payload for reuse.
+
+        The case is encoded exactly once per injection — the bytes are
+        handed back so :meth:`_record` never re-encodes on a finding.
+        """
         self._sequence = (self._sequence + 1) % 16
         payload = case.encode()
         obs.inc("fuzzer.frames_tx")
@@ -204,6 +209,7 @@ class FuzzingEngine:
         result.cmdcls_used.add(case.payload.cmdcl)
         if case.payload.cmd is not None:
             result.cmds_used.add(case.payload.cmd)
+        return payload
 
     def _observe(self) -> Observation:
         memory_kind, changes = self._observer.check_memory()
@@ -219,6 +225,7 @@ class FuzzingEngine:
     def _record(
         self,
         case: TestCase,
+        payload: bytes,
         observation: Observation,
         result: FuzzResult,
         start: float,
@@ -226,7 +233,7 @@ class FuzzingEngine:
         record = BugRecord.from_payload(
             timestamp=self._clock.now - start,
             packet_no=result.packets_sent,
-            payload=case.encode(),
+            payload=payload,
             observed=observation.kind,
         )
         result.bug_log.add(record)

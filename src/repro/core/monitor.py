@@ -74,12 +74,15 @@ class LivenessMonitor:
         self.timeout = timeout
         self.pings_sent = 0
         self.pings_lost = 0
+        # Every ping sends the identical NOP bytes; build the frame once
+        # (its encoding memoises on the instance) instead of per ping.
+        self._nop = make_nop(self._home_id, SCANNER_NODE_ID, self._node_id)
 
     def ping(self) -> bool:
         """Send one NOP; ``True`` when the controller acknowledges in time."""
         self.pings_sent += 1
         self._dongle.clear_captures()
-        self._dongle.inject(make_nop(self._home_id, SCANNER_NODE_ID, self._node_id))
+        self._dongle.inject(self._nop)
         self._clock.advance(self.timeout)
         for capture in self._dongle.captures():
             frame = capture.frame
@@ -148,6 +151,11 @@ class SutObserver:
         self._golden: Snapshot = sut.controller.nvm.snapshot()
         self.recovery_time = recovery_time
         self.recoveries = 0
+        # NVM version whose diff against the golden was last seen empty.
+        # The oracle runs after every packet, but the table only changes
+        # when a memory bug fires; matching versions prove "no tampering"
+        # without re-snapshotting and re-diffing the whole table.
+        self._clean_version: Optional[int] = None
 
     @property
     def golden(self) -> Snapshot:
@@ -156,11 +164,24 @@ class SutObserver:
     def rebaseline(self) -> None:
         """Accept the current NVM as the new golden state."""
         self._golden = self._sut.controller.nvm.snapshot()
+        self._clean_version = None
 
     # -- detection --------------------------------------------------------------
 
     def check_memory(self) -> Tuple[Optional[ObservedKind], Tuple[MemoryChange, ...]]:
-        changes = NodeTable.diff(self._golden, self._sut.controller.nvm.snapshot())
+        """Diff the NVM against the golden snapshot and classify tampering.
+
+        The NVM version counter short-circuits the common case: when the
+        table has not changed since the last clean check, no snapshot or
+        diff is taken at all.
+        """
+        nvm = self._sut.controller.nvm
+        version = nvm.version
+        if version == self._clean_version:
+            return None, ()
+        changes = NodeTable.diff(self._golden, nvm.snapshot())
+        if not changes:
+            self._clean_version = version
         return classify_memory_changes(changes), tuple(changes)
 
     def check_host(self) -> Optional[ObservedKind]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..obs import metrics as obs
 from ..zwave.application import ApplicationPayload, build_valid_payload
@@ -121,6 +121,12 @@ class PositionSensitiveMutator:
     def __init__(self, registry: SpecRegistry, rng: Optional[random.Random] = None):
         self._registry = registry
         self._rng = rng or random.Random(0)
+        # Stages 0-3 are a pure function of (registry, cmdcl): the batch is
+        # generated once per class and replayed on every requeue pass, so
+        # long campaigns stop re-deriving thousands of identical payloads.
+        # Only the rng tails run live — they are the sole rng consumers, so
+        # draw order (and thus every seeded artefact) is unchanged.
+        self._prefix_cache: Dict[int, Tuple[TestCase, ...]] = {}
 
     # -- public API ------------------------------------------------------------
 
@@ -129,6 +135,19 @@ class PositionSensitiveMutator:
         return _counted(self._cases(cmdcl))
 
     def _cases(self, cmdcl: int) -> Iterator[TestCase]:
+        prefix = self._prefix_cache.get(cmdcl)
+        if prefix is None:
+            prefix = tuple(self._deterministic_prefix(cmdcl))
+            self._prefix_cache[cmdcl] = prefix
+        yield from prefix
+        cls = self._registry.get(cmdcl)
+        if cls is None or not cls.commands:
+            yield from self._unknown_class_tail(cmdcl)
+        else:
+            yield from self._random_tail(cls)
+
+    def _deterministic_prefix(self, cmdcl: int) -> Iterator[TestCase]:
+        """Stages 0-3: everything before the endless seeded tail."""
         cls = self._registry.get(cmdcl)
         yield TestCase(
             ApplicationPayload(cmdcl, 0x00, b"\x00"),
@@ -137,12 +156,11 @@ class PositionSensitiveMutator:
             "Algorithm 1 initial semi-valid packet",
         )
         if cls is None or not cls.commands:
-            yield from self._unknown_class_stream(cmdcl)
+            yield from self._unknown_class_sweep(cmdcl)
             return
         yield from self._valid_builds(cls)
         yield from self._interleaved_variants(cls)
         yield from self._invalid_cmd_sweep(cls)
-        yield from self._random_tail(cls)
 
     # -- stage 1: semantic valid builds --------------------------------------------
 
@@ -290,7 +308,7 @@ class PositionSensitiveMutator:
 
     # -- unknown classes (validated but schema-less) -----------------------------------------------
 
-    def _unknown_class_stream(self, cmdcl: int) -> Iterator[TestCase]:
+    def _unknown_class_sweep(self, cmdcl: int) -> Iterator[TestCase]:
         """Fuzz a class with no registry schema: sweep commands blindly."""
         for cmd_id in range(0x01, 0x20):
             yield TestCase(
@@ -305,6 +323,8 @@ class PositionSensitiveMutator:
                 1,
                 "schema-less command sweep (2-byte body)",
             )
+
+    def _unknown_class_tail(self, cmdcl: int) -> Iterator[TestCase]:
         while True:
             cmd_id = self._rng.randrange(256)
             count = self._rng.randrange(0, 5)

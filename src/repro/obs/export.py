@@ -77,9 +77,19 @@ def document_to_snapshot(doc: dict) -> MetricsSnapshot:
     )
 
 
-def dumps_document(doc: dict) -> str:
-    """Canonical serialisation: sorted keys, indent 2, trailing newline."""
+def canonical_dumps(doc: dict) -> str:
+    """Canonical serialisation: sorted keys, indent 2, trailing newline.
+
+    Shared by every schema-versioned document in the tree (obs metrics,
+    chaos audits, perf benches) so "equal content ⇒ identical bytes"
+    holds across subsystems, not just within one.
+    """
     return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def dumps_document(doc: dict) -> str:
+    """Canonical serialisation of a metrics document."""
+    return canonical_dumps(doc)
 
 
 def write_document(doc: dict, path: str) -> None:

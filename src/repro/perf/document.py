@@ -1,0 +1,165 @@
+"""The canonical ``BENCH_core.json`` perf document (schema v1).
+
+Mirrors the observability export conventions: a schema-versioned
+envelope, canonical serialisation (sorted keys, two-space indent,
+trailing newline, via the shared :func:`repro.obs.export.canonical_dumps`)
+and JSON-clean content all the way down.  Two fields families live side
+by side and must not be confused:
+
+* **deterministic** — ``ops`` and ``checksum`` per workload are pure
+  functions of the seeded workloads and are compared exactly;
+* **measured** — ``best_ns``/``mean_ns``/``ops_per_sec`` are wall-clock
+  readings, and ``ratio_to_calibration`` is the machine-portable form
+  the baseline gate diffs under a tolerance.
+
+The embedded ``metrics`` member is a complete ``zcover-obs-metrics``
+document (the counters the hot paths recorded while being timed), so
+``zcover obs --in`` can render a bench run's side-channel directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..obs.export import canonical_dumps, snapshot_to_document
+from .bench import BenchReport, PerfError
+
+SCHEMA = "zcover-perf-bench"
+SCHEMA_VERSION = 1
+
+#: The conventional document filename (CLI default, CI artifact name).
+DOCUMENT_NAME = "BENCH_core.json"
+
+
+def report_to_document(report: BenchReport, meta: Optional[dict] = None) -> dict:
+    """Wrap a :class:`BenchReport` in the schema-v1 envelope."""
+    ratios = report.ratios()
+    results: Dict[str, dict] = {}
+    for timing in report.timings:
+        results[timing.name] = {
+            "ops": timing.ops,
+            "reps": timing.reps,
+            "checksum": timing.checksum,
+            "best_ns": timing.best_ns,
+            "mean_ns": timing.mean_ns,
+            "ns_per_op": round(timing.ns_per_op, 3),
+            "ops_per_sec": round(timing.ops_per_sec, 3),
+            "ratio_to_calibration": round(ratios[timing.name], 4),
+        }
+    envelope_meta = {"fast": report.fast, "repeats": report.repeats}
+    envelope_meta.update(meta or {})
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "meta": envelope_meta,
+        "results": {name: results[name] for name in sorted(results)},
+        "metrics": snapshot_to_document(
+            report.snapshot, meta={"kind": "perf-bench"}
+        ),
+    }
+
+
+def validate_document(doc: dict) -> None:
+    """Check the envelope and per-workload layout; raise on mismatch."""
+    if doc.get("schema") != SCHEMA:
+        raise PerfError(f"not a {SCHEMA} document (schema={doc.get('schema')!r})")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise PerfError(
+            f"schema version {doc.get('schema_version')!r} != expected {SCHEMA_VERSION}"
+        )
+    results = doc.get("results")
+    if not isinstance(results, dict) or not results:
+        raise PerfError("document carries no results")
+    required = {
+        "ops",
+        "reps",
+        "checksum",
+        "best_ns",
+        "mean_ns",
+        "ns_per_op",
+        "ops_per_sec",
+        "ratio_to_calibration",
+    }
+    for name, entry in results.items():
+        if not isinstance(entry, dict) or not required <= set(entry):
+            missing = sorted(required - set(entry or ()))
+            raise PerfError(f"workload {name!r} entry is missing {missing}")
+    assert_json_clean(doc)
+
+
+def document_results(doc: dict) -> Dict[str, dict]:
+    """The per-workload result table, after envelope validation."""
+    validate_document(doc)
+    return doc["results"]
+
+
+def document_meta(doc: dict) -> dict:
+    """Return the document's ``meta`` mapping (empty dict when absent)."""
+    return doc.get("meta", {})
+
+
+def dumps_document(doc: dict) -> str:
+    """Canonical serialisation — identical input, identical bytes."""
+    return canonical_dumps(doc)
+
+
+def write_document(doc: dict, path: str) -> None:
+    """Write *doc* to *path* in canonical serialized form."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_document(doc))
+
+
+def load_document(path: str) -> dict:
+    """Read and validate a perf document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    validate_document(doc)
+    return doc
+
+
+def assert_json_clean(node: object, path: str = "$") -> None:
+    """Prove a document tree is plain JSON data, the W3xx way.
+
+    The wire-safety lint walks *type annotations*; this is its runtime
+    twin for emitted documents: only dicts with string keys, lists, str,
+    int, float, bool and None may appear.
+    """
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise PerfError(f"{path}: non-string key {key!r}")
+            assert_json_clean(value, f"{path}.{key}")
+        return
+    if isinstance(node, (list, tuple)):
+        if isinstance(node, tuple):
+            raise PerfError(f"{path}: tuple survives json.dumps but not a round-trip")
+        for index, value in enumerate(node):
+            assert_json_clean(value, f"{path}[{index}]")
+        return
+    if node is None or isinstance(node, (str, bool, int, float)):
+        return
+    raise PerfError(f"{path}: {type(node).__name__} is not JSON-clean")
+
+
+# -- rendering ------------------------------------------------------------------
+
+
+def render_text(doc: dict) -> str:
+    """Human-readable bench table."""
+    validate_document(doc)
+    meta = document_meta(doc)
+    mode = "fast" if meta.get("fast") else "full"
+    lines = [
+        f"{SCHEMA} v{doc.get('schema_version')} "
+        f"({mode} mode, {meta.get('repeats')} repetition(s))",
+        "",
+        f"{'workload':<22} {'ops':>7} {'ns/op':>12} {'ops/sec':>12} {'xCal':>9}",
+    ]
+    for name in sorted(doc["results"]):
+        entry = doc["results"][name]
+        lines.append(
+            f"{name:<22} {entry['ops']:>7} {entry['ns_per_op']:>12.1f} "
+            f"{entry['ops_per_sec']:>12.1f} {entry['ratio_to_calibration']:>9.2f}"
+        )
+    return "\n".join(lines)

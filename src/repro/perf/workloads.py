@@ -1,0 +1,261 @@
+"""Seeded deterministic workloads for the hot-path microbenchmarks.
+
+Each workload exercises one loop the campaign throughput depends on —
+frame codec round-trips, PSM mutation batches, controller dispatch, the
+full engine frames/sec loop, and the resultio wire codec — plus a pure
+interpreter *calibration* loop used to normalise timings across machines.
+
+A workload is a ``prepare(fast) -> thunk`` pair: ``prepare`` builds the
+inputs outside the timed region (registries, SUTs, pre-drawn field
+values) and returns a zero-argument thunk whose every call performs the
+measured work and returns a :class:`WorkloadRun`.  Thunks draw entropy
+only from generators seeded inside ``prepare``, so the ``checksum``
+fingerprint — a CRC-32 over everything the run produced — is identical
+on every machine and every repetition.  Wall-clock timing lives in
+:mod:`repro.perf.bench`, never here.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..zwave.frame import ZWaveFrame
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """What one execution of a workload thunk produced."""
+
+    ops: int  # logical operations performed (frames, cases, packets, ...)
+    checksum: int  # CRC-32 fingerprint; must be identical across reps
+
+
+#: ``prepare(fast)`` — build inputs untimed, return the timed thunk.
+WorkloadPrepare = Callable[[bool], Callable[[], WorkloadRun]]
+
+#: The calibration workload's registry key.
+CALIBRATION = "calibration"
+
+#: Command classes the dispatch/fps workloads drive: small, stateless-safe
+#: classes (BASIC, BINARY/MULTILEVEL SWITCH, CONFIGURATION) whose handlers
+#: never hang the firmware or tamper with the NVM, keeping repeated runs
+#: against one SUT byte-stable.
+_SAFE_CMDCLS: Tuple[int, ...] = (0x20, 0x25, 0x26, 0x70)
+
+
+def _crc(checksum: int, data: bytes) -> int:
+    return zlib.crc32(data, checksum)
+
+
+# -- calibration ----------------------------------------------------------------
+
+
+def prepare_calibration(fast: bool) -> Callable[[], WorkloadRun]:
+    """A fixed pure-Python loop: the machine-speed unit of account.
+
+    Every other workload's cost is reported as a multiple of this loop's
+    per-op cost, which cancels host speed out of baseline comparisons:
+    a committed ratio regresses only when the *code* gets slower.
+    """
+    iterations = 120_000
+
+    def run() -> WorkloadRun:
+        total = 17
+        for i in range(iterations):
+            total = (total * 33 + i) & 0xFFFFFFFF
+        return WorkloadRun(iterations, _crc(0, total.to_bytes(4, "big")))
+
+    return run
+
+
+# -- frame codec ----------------------------------------------------------------
+
+
+def prepare_frame_codec(fast: bool) -> Callable[[], WorkloadRun]:
+    """MAC frame construct → encode → strict decode round-trips."""
+    rng = random.Random(0xC0DEC)
+    count = 128 if fast else 512
+    fields = []
+    for _ in range(count):
+        payload = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 24)))
+        fields.append(
+            (
+                rng.randrange(2**32),
+                rng.randrange(1, 233),
+                rng.randrange(1, 233),
+                payload,
+                rng.randrange(16),
+            )
+        )
+
+    def run() -> WorkloadRun:
+        checksum = 0
+        for home_id, src, dst, payload, sequence in fields:
+            frame = ZWaveFrame(
+                home_id=home_id, src=src, dst=dst, payload=payload, sequence=sequence
+            )
+            raw = frame.encode()
+            decoded = ZWaveFrame.decode(raw, verify=True)
+            checksum = _crc(checksum, raw)
+            checksum = _crc(checksum, decoded.payload)
+        return WorkloadRun(len(fields), checksum)
+
+    return run
+
+
+# -- mutation batches -----------------------------------------------------------
+
+
+def prepare_mutation_batch(fast: bool) -> Callable[[], WorkloadRun]:
+    """PSM batch generation: two passes per CMDCL, as requeued trials do."""
+    from ..core.mutation import PositionSensitiveMutator
+    from ..zwave.registry import load_full_registry
+
+    registry = load_full_registry()
+    per_class = 32 if fast else 96
+    cmdcls = (0x20, 0x25, 0x26, 0x70, 0x85, 0x86)
+
+    def run() -> WorkloadRun:
+        mutator = PositionSensitiveMutator(registry, random.Random(7))
+        checksum = 0
+        ops = 0
+        for _ in range(2):  # second pass measures the requeue path
+            for cmdcl in cmdcls:
+                stream = mutator.generate(cmdcl)
+                for _ in range(per_class):
+                    case = next(stream)
+                    checksum = _crc(checksum, case.encode())
+                    checksum = _crc(checksum, case.operator.value.encode())
+                    ops += 1
+        return WorkloadRun(ops, checksum)
+
+    return run
+
+
+# -- controller dispatch --------------------------------------------------------
+
+
+def prepare_controller_dispatch(fast: bool) -> Callable[[], WorkloadRun]:
+    """Raw frames through the controller's full receive/dispatch path.
+
+    The SUT persists across repetitions; the injected commands are GETs
+    of stateless classes plus undefined-command probes, so each pass
+    leaves the firmware state untouched and the per-pass stats delta —
+    the checksum input — is identical every time.
+    """
+    from ..core.fingerprint import SCANNER_NODE_ID
+    from ..simulator.testbed import build_sut
+
+    sut = build_sut("D1", seed=9, traffic=False)
+    rng = random.Random(0xD15)
+    count = 300 if fast else 800
+    home_id = sut.profile.home_id
+    node_id = sut.controller.node_id
+    raws = []
+    for i in range(count):
+        cmdcl = rng.choice(_SAFE_CMDCLS)
+        if rng.random() < 0.7:
+            payload = bytes([cmdcl, 0x02])  # GET
+        else:
+            payload = bytes([cmdcl, rng.randrange(0x18, 0x33), 0x00])  # undefined
+        frame = ZWaveFrame(
+            home_id=home_id,
+            src=SCANNER_NODE_ID,
+            dst=node_id,
+            payload=payload,
+            sequence=i % 16,
+        )
+        raws.append(frame.encode())
+
+    def run() -> WorkloadRun:
+        stats = sut.controller.stats
+        before = (stats.received, stats.acked, stats.apl_processed, stats.responses_sent)
+        for raw in raws:
+            sut.dongle.inject_raw(raw)
+            sut.clock.advance(0.012)
+        after = (stats.received, stats.acked, stats.apl_processed, stats.responses_sent)
+        delta = bytes(b"%d,%d,%d,%d" % tuple(a - b for a, b in zip(after, before)))
+        return WorkloadRun(len(raws), _crc(0, delta))
+
+    return run
+
+
+# -- campaign frames/sec --------------------------------------------------------
+
+
+def prepare_campaign_fps(fast: bool) -> Callable[[], WorkloadRun]:
+    """The end-to-end engine loop: send, oracles, padding — frames/sec.
+
+    Mirrors ``bench_engine_throughput``: a fresh SUT per run (engines
+    consume their SUT), PSM streams over four classes, one simulated
+    test packet every 0.75 s.  ``ops`` is packets sent, so the reported
+    ops/sec is the campaign frames-per-second figure of the acceptance
+    gate.
+    """
+    from ..core.fuzzer import FuzzerConfig, FuzzingEngine, psm_streams
+    from ..core.mutation import PositionSensitiveMutator
+    from ..simulator.testbed import build_sut
+    from ..zwave.registry import load_full_registry
+
+    duration = 180.0 if fast else 750.0
+
+    def run() -> WorkloadRun:
+        sut = build_sut("D1", seed=5, traffic=False)
+        engine = FuzzingEngine(sut, FuzzerConfig())
+        mutator = PositionSensitiveMutator(load_full_registry(), random.Random(5))
+        result = engine.run(
+            psm_streams(list(_SAFE_CMDCLS), mutator, 300.0, True), duration
+        )
+        summary = "%d,%d,%d,%s" % (
+            result.packets_sent,
+            len(result.detections),
+            result.windows_completed,
+            ",".join(f"{c:02x}" for c in sorted(result.cmdcls_used)),
+        )
+        return WorkloadRun(result.packets_sent, _crc(0, summary.encode()))
+
+    return run
+
+
+# -- resultio wire codec --------------------------------------------------------
+
+
+def prepare_resultio_wire(fast: bool) -> Callable[[], WorkloadRun]:
+    """Wire round-trips of a real (short) campaign result."""
+    from ..core.campaign import Mode, run_campaign
+    from ..core.resultio import (
+        campaign_from_wire,
+        campaign_to_wire,
+        dumps_wire,
+        loads_wire,
+    )
+
+    result = run_campaign("D1", Mode.FULL, duration=120.0, seed=11)
+    rounds = 8 if fast else 25
+
+    def run() -> WorkloadRun:
+        checksum = 0
+        for _ in range(rounds):
+            text = dumps_wire(campaign_to_wire(result))
+            restored = campaign_from_wire(loads_wire(text))
+            checksum = _crc(checksum, text.encode())
+            checksum = _crc(checksum, str(restored.unique_vulnerabilities).encode())
+        return WorkloadRun(rounds, checksum)
+
+    return run
+
+
+#: Registry of every workload, in canonical execution order.  The
+#: calibration loop always runs (the bench harness prepends it when a
+#: subset omits it) because every document ratio is relative to it.
+WORKLOADS: Dict[str, WorkloadPrepare] = {
+    CALIBRATION: prepare_calibration,
+    "frame_codec": prepare_frame_codec,
+    "mutation_batch": prepare_mutation_batch,
+    "controller_dispatch": prepare_controller_dispatch,
+    "campaign_fps": prepare_campaign_fps,
+    "resultio_wire": prepare_resultio_wire,
+}

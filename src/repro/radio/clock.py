@@ -29,6 +29,19 @@ def wall_monotonic() -> float:
     return time.monotonic()
 
 
+def wall_perf_counter_ns() -> int:
+    """Highest-resolution wall clock in integer nanoseconds.
+
+    The microbenchmark harness (:mod:`repro.perf`) times hot-path
+    workloads with this; like :func:`wall_monotonic` it lives here so the
+    D101 determinism rule keeps every other module off the wall clock.
+    Timings read from it are *measurements*, never inputs: the perf
+    document separates them from the seeded workload checksums, which
+    alone are compared byte-for-byte.
+    """
+    return time.perf_counter_ns()
+
+
 class SimClock:
     """A monotonically advancing simulated clock with an event queue."""
 

@@ -112,6 +112,18 @@ class VirtualController:
         self._zero_days = tuple(
             bug for bug in ZERO_DAYS if bug.bug_id in set(zero_day_ids)
         )
+        # Dispatch index: ``triggered_by`` rejects on cmdcl first, so only
+        # the bugs planted in the payload's class can ever fire.  Bucket
+        # order preserves the tuple order, keeping first-match semantics.
+        self._zero_days_by_cmdcl: Dict[int, Tuple[Vulnerability, ...]] = {}
+        for bug in self._zero_days:
+            bucket = self._zero_days_by_cmdcl.setdefault(bug.cmdcl, ())
+            self._zero_days_by_cmdcl[bug.cmdcl] = bucket + (bug,)
+        #: MAC acks keyed by (requester, sequence); an ack's bytes are a
+        #: pure function of those two fields for a fixed controller.
+        self._ack_cache: Dict[Tuple[int, int], bytes] = {}
+        #: Per-class canonical GET response: (report cmd id, params bytes).
+        self._report_cache: Dict[int, Optional[Tuple[int, bytes]]] = {}
         self._mac_quirks = tuple(mac_quirks)
         self.host = host
         self.nvm = NodeTable(own_node_id=node_id)
@@ -280,7 +292,11 @@ class VirtualController:
     def _send_ack(self, frame: ZWaveFrame) -> None:
         self.stats.acked += 1
         obs.inc("controller.acks_tx")
-        raw = frame.ack().encode()
+        key = (frame.src, frame.sequence)
+        raw = self._ack_cache.get(key)
+        if raw is None:
+            raw = frame.ack().encode()
+            self._ack_cache[key] = raw
         if self.fault_injector is not None:
             delay = self.fault_injector.ack_delay()
             if delay > 0.0:
@@ -387,7 +403,7 @@ class VirtualController:
             encapsulated=encapsulated,
             supported_cmdcls=self._supported,
         )
-        for bug in self._zero_days:
+        for bug in self._zero_days_by_cmdcl.get(payload.cmdcl, ()):
             if bug.triggered_by(ctx):
                 self._apply_effect(bug, ctx, src, payload)
                 return
@@ -550,12 +566,24 @@ class VirtualController:
             for listener in self.apl_listeners:
                 listener(src, payload)
             if cmd.kind is CommandKind.GET:
-                report = next(
-                    (c for c in cls.commands if c.kind is CommandKind.REPORT), None
-                )
-                if report is not None:
-                    params = bytes(p.legal_values()[0] for p in report.params)
-                    self._send(src, ApplicationPayload(cls.id, report.id, params))
+                response = self._report_cache.get(cls.id)
+                if cls.id not in self._report_cache:
+                    report = next(
+                        (c for c in cls.commands if c.kind is CommandKind.REPORT),
+                        None,
+                    )
+                    response = (
+                        None
+                        if report is None
+                        else (
+                            report.id,
+                            bytes(p.legal_values()[0] for p in report.params),
+                        )
+                    )
+                    self._report_cache[cls.id] = response
+                if response is not None:
+                    report_id, params = response
+                    self._send(src, ApplicationPayload(cls.id, report_id, params))
                     return
             elif cmd.kind in (CommandKind.REPORT, CommandKind.NOTIFICATION):
                 # Unsolicited device status: consumed, surfaced to the host

@@ -90,6 +90,11 @@ class NodeTable:
         self._own_node_id = own_node_id
         self._records: Dict[int, NodeRecord] = {}
         self._writes = 0
+        # Monotonic mutation counter for the memory oracle's fast path.
+        # Unlike ``_writes`` (the NVM wear metric, which deliberately
+        # excludes harness-side restores) this ticks on *every* content
+        # change, so "version unchanged" proves the table is untouched.
+        self._version = 0
 
     # -- normal (firmware-sanctioned) operations ------------------------------
 
@@ -101,6 +106,11 @@ class NodeTable:
     def write_count(self) -> int:
         """Total mutations, sanctioned or not (NVM wear metric)."""
         return self._writes
+
+    @property
+    def version(self) -> int:
+        """Counter bumped by every content change, restores included."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._records)
@@ -122,6 +132,7 @@ class NodeTable:
             raise NodeMemoryError(f"node {record.node_id} already paired")
         self._records[record.node_id] = record
         self._writes += 1
+        self._version += 1
 
     def remove(self, node_id: int) -> NodeRecord:
         """Unpair a device; raises if absent."""
@@ -129,6 +140,7 @@ class NodeTable:
         if record is None:
             raise NodeMemoryError(f"node {node_id} is not paired")
         self._writes += 1
+        self._version += 1
         return record
 
     def update(self, node_id: int, **changes) -> NodeRecord:
@@ -139,6 +151,7 @@ class NodeTable:
         updated = replace(record, **changes)
         self._records[node_id] = updated
         self._writes += 1
+        self._version += 1
         return updated
 
     # -- raw operations the vulnerable CMDCL 0x01 handler performs --------------
@@ -151,18 +164,21 @@ class NodeTable:
         """Insert or overwrite a record with no duplicate/identity checks."""
         self._records[record.node_id] = record
         self._writes += 1
+        self._version += 1
 
     def raw_delete(self, node_id: int) -> bool:
         """Delete a record if present; never raises."""
         existed = self._records.pop(node_id, None) is not None
         if existed:
             self._writes += 1
+            self._version += 1
         return existed
 
     def raw_overwrite_all(self, records: List[NodeRecord]) -> None:
         """Replace the entire table (the Figure 11 database overwrite)."""
         self._records = {r.node_id: r for r in records}
         self._writes += 1
+        self._version += 1
 
     def raw_clear_wakeup(self, node_id: int) -> bool:
         """Blank a node's wake-up interval (bug #12)."""
@@ -171,6 +187,7 @@ class NodeTable:
             return False
         self._records[node_id] = replace(record, wakeup_interval=None)
         self._writes += 1
+        self._version += 1
         return True
 
     # -- snapshots and diffing (the memory oracle) --------------------------------
@@ -182,6 +199,7 @@ class NodeTable:
     def restore(self, snapshot: Snapshot) -> None:
         """Reset the table to *snapshot* (harness-side repair between tests)."""
         self._records = {r.node_id: r for r in snapshot}
+        self._version += 1
 
     @staticmethod
     def diff(before: Snapshot, after: Snapshot) -> List[MemoryChange]:

@@ -46,12 +46,17 @@ class ApplicationPayload:
         return 1 + (1 if self.cmd is not None else 0) + len(self.params)
 
     def encode(self) -> bytes:
-        """Serialise to raw APL bytes."""
+        """Serialise to raw APL bytes (memoised on the immutable instance)."""
+        raw = self.__dict__.get("_raw")
+        if raw is not None:
+            return raw
         out = bytearray([self.cmdcl])
         if self.cmd is not None:
             out.append(self.cmd)
             out += self.params
-        return bytes(out)
+        raw = bytes(out)
+        object.__setattr__(self, "_raw", raw)
+        return raw
 
     @classmethod
     def decode(cls, raw: bytes) -> "ApplicationPayload":

@@ -98,14 +98,24 @@ class Parameter:
             raise ValueError(f"invalid range for parameter {self.name!r}")
 
     def legal_values(self) -> Tuple[int, ...]:
-        """Return the tuple of legal byte values for this parameter."""
-        if self.kind is ParamKind.ENUM:
-            return self.enum_values
-        if self.kind is ParamKind.NODE_ID:
-            return tuple(range(1, 233))
-        if self.kind is ParamKind.RANGE:
-            return tuple(range(self.low, self.high + 1))
-        return tuple(range(0x00, 0x100))
+        """Return the tuple of legal byte values for this parameter.
+
+        Memoised on the (immutable) instance: valid-payload building and
+        the controller's GET responder both call this per frame, and the
+        NODE_ID/OPAQUE domains are hundreds of values wide.
+        """
+        values = self.__dict__.get("_legal")
+        if values is None:
+            if self.kind is ParamKind.ENUM:
+                values = self.enum_values
+            elif self.kind is ParamKind.NODE_ID:
+                values = tuple(range(1, 233))
+            elif self.kind is ParamKind.RANGE:
+                values = tuple(range(self.low, self.high + 1))
+            else:
+                values = tuple(range(0x00, 0x100))
+            object.__setattr__(self, "_legal", values)
+        return values
 
     def is_legal(self, value: int) -> bool:
         """Return ``True`` when *value* is a legal byte for this parameter."""

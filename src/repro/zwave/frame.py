@@ -13,11 +13,20 @@ to show malformed frames instead of dropping them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..errors import ChecksumError, FrameError, FrameTooLargeError
 from . import constants as const
 from .checksum import cs8
+
+#: Strict decodes keyed by raw bytes.  Every transmission is decoded once
+#: per receiving endpoint (controller, slaves, attacker dongle), and ack /
+#: NOP frames repeat verbatim throughout a campaign, so sharing the
+#: immutable decoded instance removes most codec work from the hot loop.
+#: Purely an allocation cache: equal raw bytes decode to equal frames, so
+#: cache state can never alter behaviour.
+_DECODE_CACHE: Dict[bytes, "ZWaveFrame"] = {}
+_DECODE_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -108,7 +117,15 @@ class ZWaveFrame:
     # -- codec ----------------------------------------------------------------
 
     def encode(self) -> bytes:
-        """Serialise the frame, computing the CS-8 checksum if unset."""
+        """Serialise the frame, computing the CS-8 checksum if unset.
+
+        The serialisation is memoised on the (immutable) instance: the
+        fuzzer, dongle and liveness monitor all encode the same frame
+        object, and only the first call pays for the byte assembly.
+        """
+        raw = self.__dict__.get("_raw")
+        if raw is not None:
+            return raw
         body = bytearray()
         body += self.home_id.to_bytes(4, "big")
         body.append(self.src)
@@ -119,7 +136,9 @@ class ZWaveFrame:
         body += self.payload
         checksum = self.checksum if self.checksum is not None else cs8(body)
         body.append(checksum & 0xFF)
-        return bytes(body)
+        raw = bytes(body)
+        object.__setattr__(self, "_raw", raw)
+        return raw
 
     @classmethod
     def decode(cls, raw: bytes, verify: bool = True) -> "ZWaveFrame":
@@ -130,6 +149,11 @@ class ZWaveFrame:
         device's MAC layer behaves.  With ``verify=False`` the sniffer-style
         best-effort parse accepts inconsistent frames.
         """
+        raw = bytes(raw)  # no-op for bytes; makes bytearray input hashable
+        if verify:
+            cached = _DECODE_CACHE.get(raw)
+            if cached is not None:
+                return cached
         minimum = const.MAC_HEADER_SIZE + const.CS8_TRAILER_SIZE
         if len(raw) < minimum:
             raise FrameError(f"frame of {len(raw)} bytes is shorter than {minimum}")
@@ -151,7 +175,7 @@ class ZWaveFrame:
                 raise ChecksumError(
                     f"checksum {checksum:#04x} does not match computed {expected:#04x}"
                 )
-        return cls(
+        frame = cls(
             home_id=home_id,
             src=src,
             dst=dst,
@@ -164,6 +188,16 @@ class ZWaveFrame:
             sequence=p2 & const.P2_SEQUENCE_MASK,
             checksum=checksum,
         )
+        if verify:
+            # A verified frame re-encodes to exactly *raw* (LEN and CS are
+            # consistent by construction), so the codec memo can be seeded;
+            # lenient parses may disagree with their re-encoding and are
+            # never cached.
+            object.__setattr__(frame, "_raw", raw)
+            if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+                _DECODE_CACHE.clear()
+            _DECODE_CACHE[raw] = frame
+        return frame
 
     # -- constructors ----------------------------------------------------------
 

@@ -140,18 +140,28 @@ class SpecRegistry:
         return tuple(ranked + unknown)
 
 
+# The registries are immutable views over frozen CommandClass definitions,
+# so each variant is built once per process and shared: every campaign,
+# controller and mutator previously re-parsed the whole spec on startup.
+_PUBLIC_REGISTRY: Optional[SpecRegistry] = None
+_FULL_REGISTRY: Optional[SpecRegistry] = None
+
+
 def load_public_registry() -> SpecRegistry:
     """Registry of the 122 public specification classes only.
 
     This mirrors parsing the Z-Wave Alliance specification release plus the
     ``ZWave_custom_cmd_classes.xml`` definitions file.
     """
-    registry = SpecRegistry(build_public_spec())
-    if len(registry) != PUBLIC_SPEC_CLASS_COUNT:
-        raise AssertionError(
-            f"public spec must define {PUBLIC_SPEC_CLASS_COUNT} classes, got {len(registry)}"
-        )
-    return registry
+    global _PUBLIC_REGISTRY
+    if _PUBLIC_REGISTRY is None:
+        registry = SpecRegistry(build_public_spec())
+        if len(registry) != PUBLIC_SPEC_CLASS_COUNT:
+            raise AssertionError(
+                f"public spec must define {PUBLIC_SPEC_CLASS_COUNT} classes, got {len(registry)}"
+            )
+        _PUBLIC_REGISTRY = registry
+    return _PUBLIC_REGISTRY
 
 
 def load_full_registry() -> SpecRegistry:
@@ -161,7 +171,10 @@ def load_full_registry() -> SpecRegistry:
     must start from :func:`load_public_registry` and earn knowledge of the
     proprietary classes through validation testing.
     """
-    return SpecRegistry(build_all_classes().values())
+    global _FULL_REGISTRY
+    if _FULL_REGISTRY is None:
+        _FULL_REGISTRY = SpecRegistry(build_all_classes().values())
+    return _FULL_REGISTRY
 
 
 def proprietary_class_ids() -> Tuple[int, ...]:
