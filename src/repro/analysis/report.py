@@ -153,17 +153,33 @@ def render_table5(
 # -- Table VI -----------------------------------------------------------------
 
 
-def render_table6(results: Dict[Mode, CampaignResult]) -> str:
-    """The ablation study."""
-    order = (Mode.FULL, Mode.BETA, Mode.GAMMA)
+def render_table6(results: Dict[object, CampaignResult]) -> str:
+    """The ablation study, plus any scheduler arms the run included.
+
+    The three classic rows are keyed by :class:`Mode`; a coverage-
+    scheduled arm (``run_ablation(scheduler="coverage")``) appears under
+    its string key after them.  "Pkts@1st" is the fuzz-frame count at the
+    first verified zero-day — the frames-to-first-bug comparison between
+    schedulers.
+    """
+    order: List[object] = [Mode.FULL, Mode.BETA, Mode.GAMMA]
     labels = {
         Mode.FULL: "ZCover full (Known + Unknown CMDCLs + Position-Sensitive Mutation)",
         Mode.BETA: "ZCover beta (Known CMDCLs Only + Position-Sensitive Mutation)",
         Mode.GAMMA: "ZCover gamma (Random CMDCLs + No Position-Sensitive Mutation)",
     }
+    for key in sorted(
+        (k for k in results if not isinstance(k, Mode)), key=str
+    ):
+        order.append(key)
+        labels[key] = (
+            "ZCover full + Coverage-Guided Scheduler (repro.core.scheduler)"
+            if str(key) == "coverage"
+            else f"ZCover full + {key} scheduler"
+        )
     rows = []
-    for i, mode in enumerate(order, start=1):
-        result = results.get(mode)
+    for i, key in enumerate(order, start=1):
+        result = results.get(key)
         # Efficiency comes from the shared metrics snapshot (the same
         # definition campaign_report renders), never recomputed locally.
         if result is None:
@@ -172,16 +188,21 @@ def render_table6(results: Dict[Mode, CampaignResult]) -> str:
             efficiency = "n/a"
         else:
             efficiency = format_frames_per_bug(result.metrics)
+        first = "-"
+        if result is not None:
+            packet = result.first_zero_day_packet
+            first = "n/a" if packet is None else str(packet)
         rows.append(
             (
                 i,
-                labels[mode],
+                labels[key],
                 result.unique_vulnerabilities if result else "-",
+                first,
                 efficiency,
             )
         )
     return render_table(
-        ("Test", "Fuzzing Configuration", "#Vul.", "Pkts/Vul"),
+        ("Test", "Fuzzing Configuration", "#Vul.", "Pkts@1st", "Pkts/Vul"),
         rows,
         "Table VI: ablation study on ZCover core features",
     )

@@ -89,6 +89,19 @@ def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scheduler(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        choices=("static", "coverage"),
+        default="static",
+        help="PSM window scheduler: 'static' walks the priority queue with "
+        "fixed C_T windows (the paper's design); 'coverage' assigns energy "
+        "adaptively from the obs coverage bitmap (repro.core.scheduler). "
+        "Deterministic either way: same (device, mode, seed, scheduler) "
+        "gives the same bytes, serial or --workers N.",
+    )
+
+
 def _add_fault_plan(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-plan",
@@ -162,20 +175,28 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
-    """Run the Table VI ablation (full vs beta vs gamma)."""
+    """Run the Table VI ablation (full vs beta vs gamma).
+
+    With ``--scheduler coverage`` a fourth arm runs: FULL mode under the
+    coverage-guided scheduler, so the table compares frames-to-first-
+    zero-day between static and adaptive scheduling.
+    """
+    from .core.campaign import arm_name
+
     results = run_ablation(
         device=args.device,
         duration=args.hours * HOUR,
         seed=args.seed,
         workers=_resolve_workers_arg(args),
         fault_plan=_resolve_fault_plan(args),
+        scheduler=args.scheduler,
     )
     print(render_table6(results))
     if args.metrics_out:
         merged = merge_all(
-            results[mode].metrics
-            for mode in sorted(results, key=lambda m: m.name)
-            if results[mode].metrics is not None
+            results[key].metrics
+            for key in sorted(results, key=arm_name)
+            if results[key].metrics is not None
         )
         write_document(
             snapshot_to_document(
@@ -210,7 +231,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         units = [
             CampaignUnit(device=d, kind=kind, mode=Mode.FULL, duration=duration,
                          seed=args.seed,
-                         fault_plan_json=plan_json if kind == "zcover" else None)
+                         fault_plan_json=plan_json if kind == "zcover" else None,
+                         scheduler=args.scheduler if kind == "zcover" else "static")
             for d in devices
             for kind in ("vfuzz", "zcover")
         ]
@@ -226,7 +248,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             vfuzz_results[device] = VFuzzBaseline(sut, seed=args.seed).run(duration)
             zcover_results[device] = run_campaign(
                 device=device, mode=Mode.FULL, duration=duration, seed=args.seed,
-                fault_plan=plan,
+                fault_plan=plan, scheduler=args.scheduler,
             )
     print(render_table5(vfuzz_results, zcover_results))
     if args.metrics_out:
@@ -402,6 +424,7 @@ def cmd_trials(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         workers=_resolve_workers_arg(args),
         fault_plan=_resolve_fault_plan(args),
+        scheduler=args.scheduler,
     )
     print(summary.render())
     if args.metrics_out:
@@ -554,7 +577,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        regressions = compare(doc, baseline, tolerance=args.tolerance)
+        regressions = compare(doc, baseline, tolerance=args.tolerance, only=names)
         if regressions:
             print(f"\n{len(regressions)} regression(s) vs {args.baseline}:")
             for reg in regressions:
@@ -589,12 +612,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", help="save the machine-readable summary here")
     fuzz.set_defaults(func=cmd_fuzz)
 
-    ablation = sub.add_parser("ablation", help="Table VI: full vs beta vs gamma")
+    ablation = sub.add_parser(
+        "ablation",
+        help="Table VI: full vs beta vs gamma "
+        "(--scheduler coverage adds a coverage-guided fourth arm)",
+    )
     _add_common(ablation)
     ablation.add_argument("--hours", type=float, default=1.0)
     _add_workers(ablation)
     _add_metrics_out(ablation)
     _add_fault_plan(ablation)
+    _add_scheduler(ablation)
     ablation.set_defaults(func=cmd_ablation)
 
     compare = sub.add_parser("compare", help="Table V: ZCover vs VFuzz")
@@ -604,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(compare)
     _add_metrics_out(compare)
     _add_fault_plan(compare)
+    _add_scheduler(compare)
     compare.set_defaults(func=cmd_compare)
 
     table = sub.add_parser("table", help="print a static paper table")
@@ -654,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(trials)
     _add_metrics_out(trials)
     _add_fault_plan(trials)
+    _add_scheduler(trials)
     trials.set_defaults(func=cmd_trials)
 
     chaos = sub.add_parser(

@@ -38,8 +38,9 @@ from ..zwave.registry import SpecRegistry, load_full_registry, load_public_regis
 from .discovery import discover_unknown_properties
 from .fingerprint import fingerprint
 from .fuzzer import FuzzerConfig, FuzzingEngine, FuzzResult, psm_streams, random_stream
-from .mutation import PositionSensitiveMutator, RandomMutator
+from .mutation import PositionSensitiveMutator, RandomMutator, prioritize_static
 from .properties import ControllerProperties
+from .scheduler import SCHEDULERS, CoverageScheduler
 from .tester import PacketTester, Signature, VerifiedUnique
 
 #: Simulated durations used by the paper's experiments.
@@ -53,6 +54,21 @@ class Mode(Enum):
     FULL = "ZCover full"
     BETA = "ZCover beta (known CMDCLs only)"
     GAMMA = "ZCover gamma (random mutation)"
+
+
+#: The scheduler knob values (see :mod:`repro.core.scheduler`).
+SCHEDULER_STATIC, SCHEDULER_COVERAGE = SCHEDULERS
+
+#: Ablation-arm key of the coverage-scheduled run.  The three classic
+#: arms keep their :class:`Mode` keys; ``run_ablation(scheduler="coverage")``
+#: adds a fourth arm under this string key, so existing consumers of the
+#: mapping keep working unchanged.
+COVERAGE_ARM = "coverage"
+
+
+def arm_name(key) -> str:
+    """Canonical short name of an ablation-arm key (Mode or string)."""
+    return key.name if isinstance(key, Mode) else str(key)
 
 
 @dataclass
@@ -70,6 +86,11 @@ class CampaignResult:
     #: a planned abort or an injected failure cut it short, and the
     #: partial result above is tagged instead of an exception raised.
     degradation: Optional[DegradationRecord] = None
+    #: Which scheduler drove the PSM queue ("static" or "coverage").
+    scheduler: str = SCHEDULER_STATIC
+    #: The coverage scheduler's decision log, ``(cmdcl, window_s, reason)``
+    #: per window started; empty under the static scheduler.
+    scheduler_trace: Tuple[Tuple[int, float, str], ...] = ()
 
     @property
     def unique_vulnerabilities(self) -> int:
@@ -81,6 +102,40 @@ class CampaignResult:
         """Table III bug ids among the verified findings, sorted."""
         ids = {u.bug_id for u in self.unique.values() if u.bug_id is not None}
         return tuple(sorted(ids))
+
+    @property
+    def first_zero_day_packet(self) -> Optional[int]:
+        """Fuzz frames sent when the first planted zero-day was hit.
+
+        The "Pkts@1st" column of the scheduler comparison — ``None`` when
+        no verified finding matched a Table III bug.
+        """
+        packets = [
+            u.first_detection_packet
+            for u in self.unique.values()
+            if u.bug_id is not None
+        ]
+        return min(packets) if packets else None
+
+    def packets_to_find(self, bug_ids: Tuple[int, ...]) -> Optional[int]:
+        """Frames sent when the *last* of *bug_ids* had been hit.
+
+        ``None`` unless every requested bug was found — the acceptance
+        metric behind "finds every static-arm zero-day in strictly fewer
+        total fuzz frames".
+        """
+        if not bug_ids:
+            return 0
+        per_bug: Dict[int, int] = {}
+        for unique in self.unique.values():
+            if unique.bug_id is not None:
+                packet = unique.first_detection_packet
+                prior = per_bug.get(unique.bug_id)
+                if prior is None or packet < prior:
+                    per_bug[unique.bug_id] = packet
+        if not all(bug_id in per_bug for bug_id in bug_ids):
+            return None
+        return max(per_bug[bug_id] for bug_id in bug_ids)
 
     def discovery_timeline(self) -> List[Tuple[float, int, Optional[int]]]:
         """(time, packet, bug-id) per unique finding, by discovery time."""
@@ -114,8 +169,11 @@ class CampaignResult:
         return {
             "device": self.device,
             "mode": self.mode.name,
+            "scheduler": self.scheduler,
             "duration_s": self.duration,
             "packets_sent": self.fuzz.packets_sent,
+            "first_zero_day_packet": self.first_zero_day_packet,
+            "scheduler_windows": len(self.scheduler_trace),
             "cmdcl_coverage": self.fuzz.cmdcl_coverage,
             "cmd_coverage": self.fuzz.cmd_coverage,
             "detections_with_duplicates": len(self.fuzz.detections),
@@ -152,9 +210,9 @@ def build_queue(
     ablation benches.
     """
     if mode is Mode.FULL:
-        queue = properties.prioritized(knowledge)
+        queue = prioritize_static(knowledge, properties.all_cmdcls)
     elif mode is Mode.BETA:
-        queue = knowledge.prioritize(properties.listed_cmdcls)
+        queue = prioritize_static(knowledge, properties.listed_cmdcls)
     else:
         raise CampaignError(f"mode {mode} does not use a CMDCL queue")
     if strategy == "priority":
@@ -177,8 +235,15 @@ def run_campaign(
     queue_strategy: str = "priority",
     tracer: Optional[Tracer] = None,
     fault_plan: Optional[FaultPlan] = None,
+    scheduler: str = SCHEDULER_STATIC,
 ) -> CampaignResult:
     """Run one complete trial: fingerprint → (discover) → fuzz → verify.
+
+    *scheduler* selects how PSM fuzzing windows are assigned: "static"
+    walks the priority queue with one fixed C_T window per class (the
+    paper's design); "coverage" hands the queue to the adaptive
+    :class:`~repro.core.scheduler.CoverageScheduler`.  γ has no queue to
+    schedule, so ``Mode.GAMMA`` only accepts "static".
 
     Every campaign activates a fresh :class:`MetricsCollector` (and binds
     *tracer*, or a private one, to the trial's simulated clock), so the
@@ -192,6 +257,12 @@ def run_campaign(
     active — yields a *partial* result tagged with a
     :class:`DegradationRecord` rather than an exception.
     """
+    if scheduler not in SCHEDULERS:
+        raise CampaignError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
+    if mode is Mode.GAMMA and scheduler != SCHEDULER_STATIC:
+        raise CampaignError("mode GAMMA has no CMDCL queue to schedule")
     sut = build_sut(device, seed=seed)
     config = fuzzer_config or FuzzerConfig()
     schedule = None if fault_plan is None else FaultPlanner(fault_plan).compile(seed)
@@ -218,12 +289,26 @@ def run_campaign(
         rng = random.Random(seed ^ 0x5A5A5A)
         engine = FuzzingEngine(sut, config)
 
+        adaptive: Optional[CoverageScheduler] = None
         if mode is Mode.GAMMA:
             streams = random_stream(RandomMutator(rng))
         else:
             queue = build_queue(mode, properties, knowledge, queue_strategy)
             mutator = PositionSensitiveMutator(knowledge, rng)
-            streams = psm_streams(queue, mutator, config.cmdcl_time, config.requeue)
+            if scheduler == SCHEDULER_COVERAGE:
+                adaptive = CoverageScheduler(
+                    queue,
+                    knowledge,
+                    collector,
+                    mutator,
+                    seed,
+                    cmdcl_time=config.cmdcl_time,
+                )
+                streams = adaptive.streams()
+            else:
+                streams = psm_streams(
+                    queue, mutator, config.cmdcl_time, config.requeue
+                )
 
         degradation: Optional[DegradationRecord] = None
         abort_hook: Optional[AbortHook] = None
@@ -272,6 +357,8 @@ def run_campaign(
             properties=properties,
             fuzz=fuzz,
             degradation=degradation,
+            scheduler=scheduler,
+            scheduler_trace=() if adaptive is None else adaptive.trace(),
         )
         if verify:
             with span("campaign.verify", device=device):
@@ -323,24 +410,42 @@ def run_ablation(
     seed: int = 0,
     workers: int = 1,
     fault_plan: Optional[FaultPlan] = None,
-) -> Dict[Mode, CampaignResult]:
+    scheduler: str = SCHEDULER_STATIC,
+) -> Dict[object, CampaignResult]:
     """The Table VI experiment: all three modes for one hour on one device.
 
-    ``workers > 1`` shards the three modes across a process pool; the
-    returned mapping is identical to the serial run either way —
-    including under a *fault_plan*, which applies to every mode.
+    ``workers > 1`` shards the arms across a process pool; the returned
+    mapping is identical to the serial run either way — including under a
+    *fault_plan*, which applies to every arm.
+
+    ``scheduler="coverage"`` adds a fourth arm — FULL mode driven by the
+    coverage-guided scheduler — under the :data:`COVERAGE_ARM` string key,
+    so the report can compare frames-to-first-zero-day against the static
+    FULL arm.  The three classic arms always run the static scheduler
+    (they *are* the paper's Table VI).
     """
-    modes = (Mode.FULL, Mode.BETA, Mode.GAMMA)
+    if scheduler not in SCHEDULERS:
+        raise CampaignError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
+    arms: List[Tuple[object, Mode, str]] = [
+        (Mode.FULL, Mode.FULL, SCHEDULER_STATIC),
+        (Mode.BETA, Mode.BETA, SCHEDULER_STATIC),
+        (Mode.GAMMA, Mode.GAMMA, SCHEDULER_STATIC),
+    ]
+    if scheduler == SCHEDULER_COVERAGE:
+        arms.append((COVERAGE_ARM, Mode.FULL, SCHEDULER_COVERAGE))
     if workers <= 1:
         return {
-            mode: run_campaign(
+            key: run_campaign(
                 device=device,
                 mode=mode,
                 duration=duration,
                 seed=seed,
                 fault_plan=fault_plan,
+                scheduler=arm_scheduler,
             )
-            for mode in modes
+            for key, mode, arm_scheduler in arms
         }
 
     from ..faults.plan import dumps_plan
@@ -354,12 +459,13 @@ def run_ablation(
             duration=duration,
             seed=seed,
             fault_plan_json=plan_json,
+            scheduler=arm_scheduler,
         )
-        for mode in modes
+        for _, mode, arm_scheduler in arms
     ]
-    results: Dict[Mode, CampaignResult] = {}
-    for outcome in execute_units(units, workers=workers):
+    results: Dict[object, CampaignResult] = {}
+    for (key, _, _), outcome in zip(arms, execute_units(units, workers=workers)):
         if outcome.failure is not None:
             raise CampaignError(outcome.failure.render())
-        results[outcome.unit.mode] = outcome.result
+        results[key] = outcome.result
     return results

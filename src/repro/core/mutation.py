@@ -24,12 +24,40 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from ..obs import metrics as obs
 from ..zwave.application import ApplicationPayload, build_valid_payload
 from ..zwave.cmdclass import Command, CommandClass, ParamKind
 from ..zwave.registry import SpecRegistry
+
+
+def static_priority_key(registry: SpecRegistry, cmdcl: int) -> Tuple[int, int]:
+    """The explicit, total static-priority sort key for one CMDCL.
+
+    Richer classes (more defined commands) come first; classes sharing a
+    command count break the tie on ascending class identifier.  The key
+    is total — no two distinct CMDCLs compare equal — so the resulting
+    order can never fall back to dict/set iteration order, which Python
+    does not guarantee across insertion histories.
+    """
+    return (-registry.command_count(cmdcl), cmdcl)
+
+
+def prioritize_static(registry: SpecRegistry, cmdcls: Iterable[int]) -> Tuple[int, ...]:
+    """Order *cmdcls* by the static fuzzing priority of Section III-C.
+
+    Known classes sort by :func:`static_priority_key`; schema-less
+    classes follow, by ascending identifier.  This is the single ordering
+    every static campaign queue flows through — the seeded tie-break
+    regression test in ``tests/test_scheduler_properties.py`` pins it.
+    """
+    known = sorted(
+        (c for c in cmdcls if registry.get(c) is not None),
+        key=lambda c: static_priority_key(registry, c),
+    )
+    unknown = sorted(c for c in cmdcls if registry.get(c) is None)
+    return tuple(known + unknown)
 
 
 class MutationOperator(Enum):
@@ -43,6 +71,7 @@ class MutationOperator(Enum):
     INSERT = "insert"
     TRUNCATE = "truncate"
     RANDOM = "random"
+    CORPUS = "corpus"
 
 
 #: Table I verbatim: which operators apply to which Z-Wave frame field.
@@ -133,6 +162,19 @@ class PositionSensitiveMutator:
     def generate(self, cmdcl: int) -> Iterator[TestCase]:
         """Yield test cases for *cmdcl*, highest-signal stages first."""
         return _counted(self._cases(cmdcl))
+
+    def prefix_length(self, cmdcl: int) -> int:
+        """How many deterministic (stage 0-3) cases *cmdcl* yields.
+
+        A pure function of ``(registry, cmdcl)`` — the coverage
+        scheduler's energy model reads it to keep assigning windows until
+        every class's bug-bearing deterministic stages have drained.
+        """
+        prefix = self._prefix_cache.get(cmdcl)
+        if prefix is None:
+            prefix = tuple(self._deterministic_prefix(cmdcl))
+            self._prefix_cache[cmdcl] = prefix
+        return len(prefix)
 
     def _cases(self, cmdcl: int) -> Iterator[TestCase]:
         prefix = self._prefix_cache.get(cmdcl)

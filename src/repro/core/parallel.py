@@ -73,6 +73,9 @@ class CampaignUnit:
     queue_strategy: str = "priority"
     passive_duration: float = 120.0
     verify: bool = True
+    #: PSM window scheduler ("static" or "coverage"); part of the unit
+    #: identity because it changes every downstream byte.
+    scheduler: str = "static"
     #: Worker-layer fault token (see :mod:`repro.faults.worker`, e.g.
     #: "raise", "exit", "raise-once:<path>", "hang:<seconds>"); None in
     #: production.
@@ -83,7 +86,8 @@ class CampaignUnit:
     fault_plan_json: Optional[str] = None
 
     def label(self) -> str:
-        return f"{self.kind}:{self.device}:{self.mode.name}:seed={self.seed}"
+        suffix = "" if self.scheduler == "static" else f":{self.scheduler}"
+        return f"{self.kind}:{self.device}:{self.mode.name}:seed={self.seed}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -140,6 +144,7 @@ def execute_unit(unit: CampaignUnit) -> Any:
             verify=unit.verify,
             queue_strategy=unit.queue_strategy,
             fault_plan=fault_plan,
+            scheduler=unit.scheduler,
         )
     if unit.kind == "vfuzz":
         from ..simulator.testbed import build_sut

@@ -37,8 +37,10 @@ from .tester import Signature, VerifiedFinding, VerifiedUnique
 #: Wire-format version, bumped on incompatible layout changes so stale
 #: shards from a different code revision are rejected instead of merged.
 #: v2 added the per-campaign ``metrics`` snapshot (repro.obs); v3 the
-#: ``degradation`` record (repro.faults graceful degradation).
-WIRE_VERSION = 3
+#: ``degradation`` record (repro.faults graceful degradation); v4 the
+#: ``scheduler`` knob and ``scheduler_trace`` decision log
+#: (repro.core.scheduler).
+WIRE_VERSION = 4
 
 
 class WireError(ValueError):
@@ -213,6 +215,11 @@ def campaign_to_wire(result: CampaignResult) -> dict:
         "degradation": None
         if result.degradation is None
         else result.degradation.to_wire(),
+        "scheduler": result.scheduler,
+        "scheduler_trace": [
+            [cmdcl, window_s, reason]
+            for cmdcl, window_s, reason in result.scheduler_trace
+        ],
     }
 
 
@@ -234,6 +241,11 @@ def campaign_from_wire(data: dict) -> CampaignResult:
         degradation=None
         if degradation is None
         else DegradationRecord.from_wire(degradation),
+        scheduler=data["scheduler"],
+        scheduler_trace=tuple(
+            (cmdcl, window_s, reason)
+            for cmdcl, window_s, reason in data["scheduler_trace"]
+        ),
     )
 
 

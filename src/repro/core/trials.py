@@ -166,6 +166,7 @@ def trial_units(
     duration: float,
     base_seed: int,
     fault_plan: "Optional[FaultPlan]" = None,
+    scheduler: str = "static",
 ) -> "List[CampaignUnit]":
     """The campaign units of one trial series, in canonical seed order.
 
@@ -193,6 +194,7 @@ def trial_units(
                 seed=seed,
                 fault=token,
                 fault_plan_json=plan_json,
+                scheduler=scheduler,
             )
         )
     return units
@@ -208,6 +210,7 @@ def run_trials(
     timeout: Optional[float] = None,
     fault_plan: "Optional[FaultPlan]" = None,
     backoff: "Optional[BackoffPolicy]" = None,
+    scheduler: str = "static",
 ) -> TrialSummary:
     """Run *n_trials* independent campaigns with distinct seeds.
 
@@ -231,6 +234,7 @@ def run_trials(
                     mode=mode,
                     duration=duration,
                     seed=base_seed + SEED_STRIDE * trial_index,
+                    scheduler=scheduler,
                 )
             )
         # One clean attempt per unit, mirroring what merge_trials builds
@@ -244,7 +248,9 @@ def run_trials(
     from .parallel import execute_units
     from .resultio import merge_trials
 
-    units = trial_units(device, mode, n_trials, duration, base_seed, fault_plan)
+    units = trial_units(
+        device, mode, n_trials, duration, base_seed, fault_plan, scheduler
+    )
     outcomes = execute_units(
         units, workers=workers, timeout=timeout, backoff=backoff
     )

@@ -138,6 +138,29 @@ class MetricsCollector:
         key = coverage_key(cmdcl, cmd)
         self._coverage[key] = self._coverage.get(key, 0) + int(amount)
 
+    def coverage_size(self) -> int:
+        """How many distinct coverage coordinates the bitmap holds.
+
+        Monotonically non-decreasing, so the coverage scheduler compares
+        it across a frame's dispatch to detect novelty without copying
+        the bitmap.
+        """
+        return len(self._coverage)
+
+    def covered_pairs(self, cmdcl: int) -> int:
+        """Distinct ``(cmdcl, cmd)`` pairs of *cmdcl* the bitmap has seen.
+
+        Excludes the class-only ``"xx:-"`` coordinate: the scheduler's
+        residual-path term counts dispatched *commands* against the
+        registry's defined command count.
+        """
+        prefix = f"{cmdcl:02x}:"
+        return sum(
+            1
+            for key in self._coverage
+            if key.startswith(prefix) and not key.endswith(":-")
+        )
+
     def record_span(self, name: str, sim_time_us: int) -> None:
         """Fold one completed span into the per-name aggregates."""
         entry = self._spans.get(name)

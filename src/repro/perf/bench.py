@@ -149,7 +149,8 @@ class Regression:
 
 
 def compare(
-    current: dict, baseline: dict, tolerance: float = 0.25
+    current: dict, baseline: dict, tolerance: float = 0.25,
+    only: Optional[Sequence[str]] = None,
 ) -> List[Regression]:
     """Diff a current perf document against a committed baseline.
 
@@ -158,6 +159,13 @@ def compare(
     any checksum or op-count drift — those mean the deterministic
     workload itself changed, so the timing comparison is void and the
     baseline needs a deliberate regeneration.
+
+    *only* restricts the gate to those baseline workloads: a run that
+    benchmarked a subset (``zcover perf --workloads campaign_fps``) can be
+    compared against the full committed baseline without every un-run
+    workload counting as "missing".  A full comparison (``only=None``)
+    still treats a baseline workload absent from the current run as a
+    regression.
     """
     from .document import document_results, document_meta
 
@@ -178,6 +186,8 @@ def compare(
     regressions: List[Regression] = []
     for name in base_results:
         if name == CALIBRATION:
+            continue
+        if only is not None and name not in only:
             continue
         entry = cur_results.get(name)
         base = base_results[name]

@@ -1,0 +1,168 @@
+"""Golden scheduler comparison: the adaptive loop's byte-for-byte pin.
+
+``tests/data/scheduler_golden.json`` freezes the seed-0 two-device
+scheduler comparison: for each testbed device, one 1 h ``Mode.FULL``
+campaign per scheduler arm (static and coverage), recording the energy
+trajectory (the full ``scheduler_trace``), per-class energy counters,
+frames-to-first-bug and frames-to-all-static-bugs.  Any drift in the
+ε-greedy policy, the energy score, corpus havoc, window accounting or
+trace wire shape shows up as a byte diff here (same convention as
+``obs_golden.json`` / ``faults_golden.json``).
+
+The golden also carries the ISSUE 6 acceptance criterion as live
+assertions: on both devices the coverage arm finds every planted
+zero-day the static arm finds, in strictly fewer total fuzz frames.
+
+Regenerate after an intentional policy change with::
+
+    PYTHONPATH=src:tests python -c \
+        "import test_scheduler_golden as t; t.write_golden()"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.campaign import Mode, run_campaign
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "scheduler_golden.json"
+
+SCHEMA = "zcover.scheduler-golden/v1"
+DEVICES = ("D1", "D2")
+ARMS = ("static", "coverage")
+DURATION = 3600.0
+SEED = 0
+
+
+def _run_device(device):
+    """Both scheduler arms of one device, keyed by arm name."""
+    return {
+        arm: run_campaign(
+            device=device,
+            mode=Mode.FULL,
+            duration=DURATION,
+            seed=SEED,
+            scheduler=arm,
+        )
+        for arm in ARMS
+    }
+
+
+def _arm_record(result):
+    """The golden-relevant slice of one campaign result."""
+    counters = result.metrics.counters if result.metrics is not None else {}
+    return {
+        "scheduler": result.scheduler,
+        "bug_ids": list(result.matched_bug_ids),
+        "unique_vulnerabilities": result.unique_vulnerabilities,
+        "packets_sent": result.fuzz.packets_sent,
+        "first_zero_day_packet": result.first_zero_day_packet,
+        "packets_to_find_all": result.packets_to_find(result.matched_bug_ids),
+        "windows_completed": result.fuzz.windows_completed,
+        "energy": {
+            name.rsplit(".", 1)[1]: value
+            for name, value in sorted(counters.items())
+            if name.startswith("scheduler.energy.")
+        },
+        "coverage_novel_frames": counters.get("scheduler.coverage_novel_frames", 0),
+        "corpus_size": int(
+            (result.metrics.gauges if result.metrics is not None else {}).get(
+                "scheduler.corpus_size", 0
+            )
+        ),
+        "trace": [list(entry) for entry in result.scheduler_trace],
+    }
+
+
+def build_golden_text(campaigns=None):
+    """Both devices' scheduler documents, concatenated in device order."""
+    campaigns = campaigns or {device: _run_device(device) for device in DEVICES}
+    parts = []
+    for device in DEVICES:
+        document = {
+            "schema": SCHEMA,
+            "device": device,
+            "seed": SEED,
+            "duration_s": DURATION,
+            "arms": {arm: _arm_record(campaigns[device][arm]) for arm in ARMS},
+        }
+        parts.append(json.dumps(document, sort_keys=True, indent=1) + "\n")
+    return "".join(parts)
+
+
+def write_golden(campaigns=None):
+    """Regenerate the golden file through the exact code path the test uses."""
+    GOLDEN_PATH.write_text(build_golden_text(campaigns))
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return {device: _run_device(device) for device in DEVICES}
+
+
+class TestGolden:
+    def test_documents_match_golden_bytes(self, campaigns):
+        assert GOLDEN_PATH.exists(), "run write_golden() to create the golden file"
+        assert build_golden_text(campaigns) == GOLDEN_PATH.read_text()
+
+    def test_coverage_arm_beats_static_on_every_device(self, campaigns):
+        """The acceptance criterion: every static-arm zero-day found, in
+        strictly fewer total fuzz frames, on the whole seed-0 device set."""
+        for device in DEVICES:
+            static = campaigns[device]["static"]
+            coverage = campaigns[device]["coverage"]
+            static_bugs = static.matched_bug_ids
+            assert static_bugs, f"{device}: static arm found nothing to compare"
+            assert set(static_bugs) <= set(coverage.matched_bug_ids)
+            static_cost = static.packets_to_find(static_bugs)
+            coverage_cost = coverage.packets_to_find(static_bugs)
+            assert coverage_cost is not None
+            assert coverage_cost < static_cost, (
+                f"{device}: coverage needed {coverage_cost} frames vs "
+                f"static {static_cost}"
+            )
+
+    def test_coverage_arm_trace_matches_its_counters(self, campaigns):
+        """The trace is the energy trajectory: window counts and summed
+        energy must agree with the obs counters the scheduler emitted."""
+        for device in DEVICES:
+            result = campaigns[device]["coverage"]
+            counters = result.metrics.counters
+            trace = result.scheduler_trace
+            assert len(trace) >= result.fuzz.windows_completed
+            by_reason = {}
+            for _, _, reason in trace:
+                by_reason[reason] = by_reason.get(reason, 0) + 1
+            for reason, count in by_reason.items():
+                assert counters[f"scheduler.windows.{reason}"] == count
+            for cmdcl in {entry[0] for entry in trace}:
+                expected = sum(
+                    int(round(window)) for c, window, _ in trace if c == cmdcl
+                )
+                assert counters[f"scheduler.energy.{cmdcl:02x}"] == expected
+
+    def test_static_arm_emits_no_scheduler_telemetry(self, campaigns):
+        """The static arm stays telemetry-clean: no scheduler counters,
+        no trace — the knob defaults to the seed behaviour exactly."""
+        for device in DEVICES:
+            result = campaigns[device]["static"]
+            assert result.scheduler == "static"
+            assert result.scheduler_trace == ()
+            assert not any(
+                name.startswith("scheduler.")
+                for name in result.metrics.counters
+            )
+
+    def test_golden_documents_are_schema_tagged(self):
+        decoder = json.JSONDecoder()
+        text = GOLDEN_PATH.read_text()
+        index = 0
+        count = 0
+        while index < len(text.rstrip()):
+            doc, end = decoder.raw_decode(text, index)
+            assert doc["schema"] == SCHEMA
+            assert set(doc["arms"]) == set(ARMS)
+            index = end + 1  # skip the trailing newline between documents
+            count += 1
+        assert count == len(DEVICES)
