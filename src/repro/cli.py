@@ -399,6 +399,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     from .lint import run_lint
     from .lint.runner import default_analyzers
+    from .obs.export import canonical_dumps
 
     root = Path(args.root) if args.root else None
     if args.rules:
@@ -406,11 +407,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
             for rule, description in sorted(analyzer.rules.items()):
                 print(f"{rule}  [{analyzer.name}]  {description}")
         return 0
-    report = run_lint(root=root)
+    cache_path = Path(args.cache) if args.cache else None
+    report = run_lint(root=root, jobs=args.jobs, cache_path=cache_path)
     if args.format == "json":
-        print(json.dumps(report.to_document(), indent=2))
+        rendered = json.dumps(report.to_document(), indent=2)
+    elif args.format == "sarif":
+        rendered = report.render_sarif().rstrip("\n")
     else:
-        print(report.render())
+        rendered = report.render()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"lint report written to {args.out}")
+    else:
+        print(rendered)
+
+    if args.write_manifest or args.check_manifest:
+        if report.manifest is None:
+            print("purity manifest unavailable (flow analyzer did not run)")
+            return 2
+        manifest_path = Path(args.write_manifest or args.check_manifest)
+        rendered_manifest = canonical_dumps(report.manifest)
+        if args.write_manifest:
+            manifest_path.write_text(rendered_manifest, encoding="utf-8")
+            print(f"purity manifest written to {manifest_path}")
+        else:
+            from .lint.flow.purity import diff_manifests
+
+            try:
+                committed = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                print(f"purity manifest unreadable: {manifest_path}")
+                return 2
+            drift = diff_manifests(committed, report.manifest)
+            if drift:
+                print(f"purity manifest drift against {manifest_path}:")
+                for line in drift:
+                    print(f"  {line}")
+                return 2
+            print(f"purity manifest matches {manifest_path}")
+
+    if args.strict:
+        return report.strict_exit_code()
     return report.exit_code
 
 
@@ -750,9 +788,34 @@ def build_parser() -> argparse.ArgumentParser:
     perf.set_defaults(func=cmd_perf)
 
     lint = sub.add_parser("lint", help="static analysis of the repro source tree")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     lint.add_argument("--root", help="lint this tree instead of the installed package")
     lint.add_argument("--rules", action="store_true", help="list every rule and exit")
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard per-file flow summarization across N processes",
+    )
+    lint.add_argument("--out", help="write the report here instead of stdout")
+    lint.add_argument(
+        "--cache", help="incremental flow-summary cache file (content-CRC keyed)"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    lint.add_argument(
+        "--write-manifest",
+        metavar="PATH",
+        help="write the purity manifest (canonical JSON) to PATH",
+    )
+    lint.add_argument(
+        "--check-manifest",
+        metavar="PATH",
+        help="fail (exit 2) if the purity manifest drifted from PATH",
+    )
     lint.set_defaults(func=cmd_lint)
 
     return parser

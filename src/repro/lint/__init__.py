@@ -1,6 +1,6 @@
 """Custom static analysis over the reproduction's own source tree.
 
-Three analyzer families guard the invariants the test suite cannot see
+Four analyzer families guard the invariants the test suite cannot see
 (see ``docs/architecture.md`` §Static analysis):
 
 * :mod:`repro.lint.determinism` — no unseeded entropy or wall-clock reads
@@ -11,25 +11,34 @@ Three analyzer families guard the invariants the test suite cannot see
   (a static mirror of the paper's Phase-2 drift discovery);
 * :mod:`repro.lint.wiresafety` — every dataclass crossing the worker
   boundary through :mod:`repro.core.resultio` carries only JSON-clean
-  field types, so new fields cannot silently break the parallel codec.
+  field types, so new fields cannot silently break the parallel codec;
+* :mod:`repro.lint.flow` — the interprocedural dataflow engine: call
+  graph over the whole tree, entropy/clock taint to a fixpoint, wire
+  type inference, and the committed purity manifest whose drift CI gates.
 
-Run it as ``zcover lint`` (``--format json`` for machine output).
+Run it as ``zcover lint`` (``--format json``/``--format sarif`` for
+machine output, ``--jobs N`` to shard the flow summarize stage).
 """
 
 from .conformance import ConformanceAnalyzer
 from .determinism import DeterminismAnalyzer
 from .findings import SCHEMA_VERSION, LintFinding, Severity
+from .flow import FlowAnalyzer
 from .runner import LintReport, default_analyzers, run_lint
+from .sarif import findings_to_sarif, render_sarif
 from .wiresafety import WireSafetyAnalyzer
 
 __all__ = [
     "ConformanceAnalyzer",
     "DeterminismAnalyzer",
+    "FlowAnalyzer",
     "LintFinding",
     "LintReport",
     "SCHEMA_VERSION",
     "Severity",
     "WireSafetyAnalyzer",
     "default_analyzers",
+    "findings_to_sarif",
+    "render_sarif",
     "run_lint",
 ]

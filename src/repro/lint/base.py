@@ -28,13 +28,23 @@ _ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9,\s]+)\]\s*(?:--\s*(\S.*)
 
 @dataclass
 class SourceFile:
-    """One parsed Python file under the linted root."""
+    """One parsed Python file under the linted root.
+
+    The module is parsed exactly once (in :meth:`load` or the perf
+    harness's synthetic constructor); every analyzer that needs a flat
+    node walk shares the cached :attr:`nodes` list and every scope-based
+    analyzer shares :meth:`scopes`, so a four-family lint run costs one
+    ``ast.parse`` and one ``ast.walk`` per file instead of one per
+    analyzer.  The ``lint_tree`` perf workload pins this.
+    """
 
     path: Path
     rel: str  # posix path relative to the linted root
     text: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    _nodes: Optional[List[ast.AST]] = field(default=None, repr=False)
+    _scopes: Optional[list] = field(default=None, repr=False)
 
     @classmethod
     def load(cls, path: Path, root: Path) -> "SourceFile":
@@ -47,6 +57,25 @@ class SourceFile:
             tree=tree,
             lines=text.splitlines(),
         )
+
+    @classmethod
+    def from_text(cls, rel: str, text: str) -> "SourceFile":
+        """Build an in-memory source (synthetic trees, lint workers)."""
+        tree = ast.parse(text, filename=rel)
+        return cls(path=Path(rel), rel=rel, text=text, tree=tree, lines=text.splitlines())
+
+    @property
+    def nodes(self) -> List[ast.AST]:
+        """Flat ``ast.walk`` of the module, computed once and shared."""
+        if self._nodes is None:
+            self._nodes = list(ast.walk(self.tree))
+        return self._nodes
+
+    def scopes(self):
+        """Cached ``walk_scopes`` result (module scope + every function)."""
+        if self._scopes is None:
+            self._scopes = list(walk_scopes(self.tree))
+        return self._scopes
 
 
 def collect_sources(root: Path) -> List[SourceFile]:
@@ -71,16 +100,20 @@ class Analyzer:
 # -- inline suppressions -------------------------------------------------------
 
 
-def _allow_directives(source: SourceFile) -> Dict[int, Tuple[Set[str], bool]]:
+def allow_directives_for_lines(lines: List[str]) -> Dict[int, Tuple[Set[str], bool]]:
     """Map 1-based line number -> (allowed rule ids, has justification)."""
     directives: Dict[int, Tuple[Set[str], bool]] = {}
-    for lineno, line in enumerate(source.lines, start=1):
+    for lineno, line in enumerate(lines, start=1):
         match = _ALLOW_RE.search(line)
         if match is None:
             continue
         rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
         directives[lineno] = (rules, match.group(2) is not None)
     return directives
+
+
+def _allow_directives(source: SourceFile) -> Dict[int, Tuple[Set[str], bool]]:
+    return allow_directives_for_lines(source.lines)
 
 
 def apply_suppressions(
@@ -135,6 +168,28 @@ def dotted_name(node: ast.AST) -> Optional[str]:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+_ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "IntFlag", "Flag"})
+
+
+def class_kind(node: ast.ClassDef) -> str:
+    """Classify a class statement: ``"dataclass"``, ``"enum"`` or ``"class"``.
+
+    Shared by the wire-safety analyzer (codec vocabulary) and the flow
+    engine's symbol table (W401 type inference), so the two passes can
+    never disagree about what counts as a wire-capable dataclass.
+    """
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return "dataclass"
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1] in _ENUM_BASES:
+            return "enum"
+    return "class"
 
 
 def int_const(node: ast.AST) -> Optional[int]:

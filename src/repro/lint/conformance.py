@@ -42,7 +42,7 @@ from __future__ import annotations
 import ast
 from typing import List, Optional, Set, Tuple
 
-from .base import Analyzer, SourceFile, dotted_name, int_const, walk_scopes
+from .base import Analyzer, SourceFile, dotted_name, int_const
 from .findings import LintFinding, Severity
 
 #: The modules whose dispatch literals are cross-checked by default.  On
@@ -144,7 +144,7 @@ class ConformanceAnalyzer(Analyzer):
         findings: List[LintFinding] = []
         referenced: Set[int] = set()
         generic = False
-        for _scope, nodes in walk_scopes(source.tree):
+        for _scope, nodes in source.scopes():
             scope_cmdcls: Set[int] = set()
             cmd_refs: List[Tuple[int, ast.Compare]] = []
             pair_nodes: List[Tuple[int, int, ast.AST]] = []

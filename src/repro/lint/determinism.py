@@ -47,7 +47,7 @@ fallback explicitly.
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .base import Analyzer, SourceFile, dotted_name
 from .findings import LintFinding, Severity
@@ -98,7 +98,7 @@ _UUID_FUNCS = frozenset({"uuid1", "uuid4"})
 _SET_BUILTINS = frozenset({"set", "frozenset"})
 
 
-def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
     """Map local names to canonical dotted origins for relevant modules."""
     interesting = {"random", "time", "datetime", "os", "uuid", "secrets"}
     aliases: Dict[str, str] = {}
@@ -113,6 +113,68 @@ def _import_aliases(tree: ast.Module) -> Dict[str, str]:
             for name in node.names:
                 aliases[name.asname or name.name] = f"{node.module}.{name.name}"
     return aliases
+
+
+def resolve_origin(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted origin of a call target, through import aliases."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return None
+    return f"{origin}.{rest}" if rest else origin
+
+
+def classify_call(
+    node: ast.Call, aliases: Dict[str, str]
+) -> Optional[Tuple[str, str, str, str]]:
+    """Classify a call against the D101/D102 taxonomy.
+
+    Returns ``(rule, kind, message, hint)`` where *kind* is ``"entropy"``
+    (process-global entropy), ``"clock"`` (wall-clock read) or
+    ``"unseeded"`` (construction of an unreproducible generator) — or
+    ``None`` for a clean call.  The determinism analyzer turns these into
+    per-site findings; the flow engine (:mod:`repro.lint.flow`) uses the
+    same classification as interprocedural taint seeds, so the syntactic
+    and dataflow passes can never disagree about what counts as a leak.
+    """
+    origin = resolve_origin(node.func, aliases)
+    if origin is None:
+        return None
+    rule, kind = "D101", "entropy"
+    violation: Optional[str] = None
+    hint = "draw from the seeded random.Random plumbed through the testbed"
+    module, _, func = origin.rpartition(".")
+    if origin == "random.Random" or origin.endswith("random.Random"):
+        if not node.args and not node.keywords:
+            rule, kind = "D102", "unseeded"
+            violation = "unseeded random.Random() construction"
+            hint = "pass a seed (e.g. random.Random(0)) or require rng from the caller"
+    elif func == "SystemRandom" and module.endswith("random"):
+        rule, kind = "D102", "unseeded"
+        violation = "random.SystemRandom draws OS entropy"
+        hint = "use the seeded random.Random plumbed through the testbed"
+    elif module == "random" and func in _RANDOM_FUNCS:
+        violation = f"random.{func}() uses the shared unseeded global generator"
+    elif module == "time" and func in _TIME_FUNCS:
+        kind = "clock"
+        violation = f"time.{func}() reads the wall clock"
+        hint = "use the simulated SimClock (repro.radio.clock)"
+    elif func in _DATETIME_FUNCS and module.split(".")[-1] in ("datetime", "date"):
+        kind = "clock"
+        violation = f"{module}.{func}() reads the wall clock"
+        hint = "use the simulated SimClock (repro.radio.clock)"
+    elif origin == "os.urandom":
+        violation = "os.urandom() draws OS entropy"
+    elif module == "uuid" and func in _UUID_FUNCS:
+        violation = f"uuid.{func}() is nondeterministic"
+    elif module == "secrets" or origin.startswith("secrets."):
+        violation = f"{origin}() draws OS entropy"
+    if violation is None:
+        return None
+    return rule, kind, violation, hint
 
 
 class DeterminismAnalyzer(Analyzer):
@@ -134,8 +196,8 @@ class DeterminismAnalyzer(Analyzer):
         findings: List[LintFinding] = []
         for source in sources:
             exempt = source.rel in self._entropy_owners
-            aliases = _import_aliases(source.tree)
-            for node in ast.walk(source.tree):
+            aliases = import_aliases(source.tree)
+            for node in source.nodes:
                 if isinstance(node, ast.Call) and not exempt:
                     findings.extend(self._check_call(source, node, aliases))
                     findings.extend(self._check_builtin_hash(source, node))
@@ -144,52 +206,13 @@ class DeterminismAnalyzer(Analyzer):
 
     # -- D101/D102 -------------------------------------------------------------
 
-    def _resolve(self, node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
-        """Canonical dotted origin of a call target, through import aliases."""
-        dotted = dotted_name(node)
-        if dotted is None:
-            return None
-        head, _, rest = dotted.partition(".")
-        origin = aliases.get(head)
-        if origin is None:
-            return None
-        return f"{origin}.{rest}" if rest else origin
-
     def _check_call(
         self, source: SourceFile, node: ast.Call, aliases: Dict[str, str]
     ) -> List[LintFinding]:
-        origin = self._resolve(node.func, aliases)
-        if origin is None:
+        classified = classify_call(node, aliases)
+        if classified is None:
             return []
-        violation: Optional[str] = None
-        rule = "D101"
-        hint = "draw from the seeded random.Random plumbed through the testbed"
-        module, _, func = origin.rpartition(".")
-        if origin == "random.Random" or origin.endswith("random.Random"):
-            if not node.args and not node.keywords:
-                rule = "D102"
-                violation = "unseeded random.Random() construction"
-                hint = "pass a seed (e.g. random.Random(0)) or require rng from the caller"
-        elif func == "SystemRandom" and module.endswith("random"):
-            rule = "D102"
-            violation = "random.SystemRandom draws OS entropy"
-            hint = "use the seeded random.Random plumbed through the testbed"
-        elif module == "random" and func in _RANDOM_FUNCS:
-            violation = f"random.{func}() uses the shared unseeded global generator"
-        elif module == "time" and func in _TIME_FUNCS:
-            violation = f"time.{func}() reads the wall clock"
-            hint = "use the simulated SimClock (repro.radio.clock)"
-        elif func in _DATETIME_FUNCS and module.split(".")[-1] in ("datetime", "date"):
-            violation = f"{module}.{func}() reads the wall clock"
-            hint = "use the simulated SimClock (repro.radio.clock)"
-        elif origin == "os.urandom":
-            violation = "os.urandom() draws OS entropy"
-        elif module == "uuid" and func in _UUID_FUNCS:
-            violation = f"uuid.{func}() is nondeterministic"
-        elif module == "secrets" or origin.startswith("secrets."):
-            violation = f"{origin}() draws OS entropy"
-        if violation is None:
-            return []
+        rule, _kind, violation, hint = classified
         return [
             LintFinding(
                 rule=rule,

@@ -1,0 +1,95 @@
+"""Content-addressed incremental cache for per-file flow summaries.
+
+Summaries are pure functions of ``(SUMMARY_VERSION, file text)``, so the
+cache keys each entry by the CRC-32 of the file's bytes and invalidates
+wholesale when the summary layout version bumps.  A warm cache turns the
+project-wide pass into pure link-and-fixpoint work; correctness never
+depends on the cache because a hit and a recomputation are byte-identical
+by construction (summaries are JSON-clean and derived only from text).
+
+The cache file is plain JSON, safe to delete at any time, and written
+atomically (tmp + rename) so an interrupted lint run never corrupts it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, Optional
+
+from .symbols import SUMMARY_VERSION
+
+CACHE_SCHEMA = "zcover-flow-cache"
+
+
+def text_crc(text: str) -> int:
+    """CRC-32 of the file's UTF-8 bytes: the cache key's content half."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class SummaryCache:
+    """CRC-keyed summary store with hit/miss accounting."""
+
+    def __init__(self, path: Optional[Path] = None):
+        self.path = path
+        self.entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path is not None:
+            self._load(path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(raw, dict)
+            or raw.get("schema") != CACHE_SCHEMA
+            or raw.get("summary_version") != SUMMARY_VERSION
+        ):
+            return  # layout changed: start cold
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def get(self, rel: str, text: str) -> Optional[dict]:
+        entry = self.entries.get(rel)
+        if entry is not None and entry.get("crc") == text_crc(text):
+            self.hits += 1
+            return entry["summary"]
+        self.misses += 1
+        return None
+
+    def put(self, rel: str, text: str, summary: dict) -> None:
+        self.entries[rel] = {"crc": text_crc(text), "summary": summary}
+        self._dirty = True
+
+    def prune(self, live_rels) -> None:
+        """Drop entries for files no longer in the tree."""
+        live = set(live_rels)
+        stale = [rel for rel in self.entries if rel not in live]
+        for rel in stale:
+            del self.entries[rel]
+            self._dirty = True
+
+    def save(self) -> bool:
+        """Atomically persist the cache; returns whether a write happened."""
+        if self.path is None or not self._dirty:
+            return False
+        document = {
+            "schema": CACHE_SCHEMA,
+            "summary_version": SUMMARY_VERSION,
+            "entries": {rel: self.entries[rel] for rel in sorted(self.entries)},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+        self._dirty = False
+        return True

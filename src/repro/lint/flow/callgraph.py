@@ -1,0 +1,308 @@
+"""Project-wide call graph over per-file flow summaries.
+
+The linker resolves every symbolic call site recorded by
+:mod:`repro.lint.flow.symbols` against the whole-tree symbol table:
+
+* bare names resolve to module functions, classes, or ``from``-imports;
+* dotted names resolve through module aliases (``mod.f`` with
+  ``from .. import mod`` / ``import repro.mod``);
+* ``self.m(...)`` resolves within the enclosing class and its in-tree
+  base classes;
+* ``obj.m(...)`` resolves when ``obj``'s class was statically inferred
+  (local construction, parameter annotation, or a ``self.attr`` whose
+  class the summarizer pinned);
+* constructor calls ``K(...)`` resolve to ``K.__init__``.
+
+Unresolvable calls carry no taint — the engine proves properties along
+the edges it can see and never guesses.  Function identity is the pair
+``(module rel path, qualname)`` rendered as ``"core/campaign.py::run_campaign"``,
+which is also the key format of the purity manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+#: Function identity: "<rel>::<qualname>".
+FunctionId = str
+
+
+def function_id(rel: str, qualname: str) -> FunctionId:
+    """Render the canonical ``"<rel>::<qualname>"`` function identity."""
+    return f"{rel}::{qualname}"
+
+
+def module_id(rel: str) -> str:
+    """Dotted in-tree module id for a rel path (``core/fuzzer.py`` ->
+    ``core.fuzzer``; package ``__init__.py`` -> the package path)."""
+    stem = rel[:-3] if rel.endswith(".py") else rel
+    if stem.endswith("/__init__"):
+        stem = stem[: -len("/__init__")]
+    elif stem == "__init__":
+        stem = ""
+    return stem.replace("/", ".")
+
+
+class CallGraph:
+    """Resolved functions, classes and call edges over one source tree."""
+
+    def __init__(self, summaries: Dict[str, dict]):
+        #: rel -> summary, in sorted-rel order for determinism.
+        self.summaries: Dict[str, dict] = {
+            rel: summaries[rel] for rel in sorted(summaries)
+        }
+        #: dotted module id -> rel
+        self.module_rel: Dict[str, str] = {}
+        #: FunctionId -> function summary dict
+        self.functions: Dict[FunctionId, dict] = {}
+        #: (rel, class name) -> class summary dict
+        self.classes: Dict[Tuple[str, str], dict] = {}
+        #: caller FunctionId -> [(callee FunctionId, line, col)]
+        self.edges: Dict[FunctionId, List[Tuple[FunctionId, int, int]]] = {}
+        #: callee FunctionId -> [(caller FunctionId, line, col)]
+        self.redges: Dict[FunctionId, List[Tuple[FunctionId, int, int]]] = {}
+        #: call sites that omitted a parameter of the callee:
+        #: callee FunctionId -> [(caller FunctionId, line, col, omitted set)]
+        self.omissions: Dict[
+            FunctionId, List[Tuple[FunctionId, int, int, Tuple[str, ...]]]
+        ] = {}
+        #: resolved call-site arg0 classes (for W401):
+        #: [(caller, callee, line, col, class rel, class name)]
+        self.typed_arg0: List[Tuple[FunctionId, FunctionId, int, int, str, str]] = []
+        self._build_tables()
+        self._link()
+
+    # -- tables ----------------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        for rel, summary in self.summaries.items():
+            self.module_rel[module_id(rel)] = rel
+            for qualname, func in summary["functions"].items():
+                self.functions[function_id(rel, qualname)] = func
+            for name, cls in summary["classes"].items():
+                self.classes[(rel, name)] = cls
+
+    def _resolve_import(self, rel: str, local: str) -> Optional[Tuple[str, str]]:
+        """Resolve an imported local name to ``(kind, payload)``.
+
+        kind is ``"module"`` (payload: target rel), ``"function"``
+        (payload: FunctionId) or ``"class"`` (payload: "rel::ClassName").
+        """
+        entry = self.summaries[rel]["imports"].get(local)
+        if entry is None:
+            return None
+        target_module = self._resolve_module_ref(
+            rel, entry["module"], entry.get("level", 0)
+        )
+        if target_module is None:
+            return None
+        if entry["kind"] == "module":
+            return ("module", target_module)
+        symbol = entry["symbol"]
+        target_summary = self.summaries[target_module]
+        if symbol in target_summary["functions"]:
+            return ("function", function_id(target_module, symbol))
+        if symbol in target_summary["classes"]:
+            return ("class", f"{target_module}::{symbol}")
+        # re-export through a package __init__: follow one hop
+        reexport = target_summary["imports"].get(symbol)
+        if reexport is not None:
+            deeper = self._resolve_module_ref(
+                target_module, reexport["module"], reexport.get("level", 0)
+            )
+            if deeper is not None and reexport["kind"] == "symbol":
+                deep_summary = self.summaries[deeper]
+                deep_symbol = reexport["symbol"]
+                if deep_symbol in deep_summary["functions"]:
+                    return ("function", function_id(deeper, deep_symbol))
+                if deep_symbol in deep_summary["classes"]:
+                    return ("class", f"{deeper}::{deep_symbol}")
+        return None
+
+    def _resolve_module_ref(
+        self, rel: str, module: str, level: int
+    ) -> Optional[str]:
+        """Rel path of a module reference as written in *rel*'s imports."""
+        if level == 0:
+            dotted = module
+            # absolute references to the package itself ("repro.core.x")
+            if dotted.split(".")[0] == "repro":
+                dotted = ".".join(dotted.split(".")[1:])
+        else:
+            package_parts = module_id(rel).split(".") if module_id(rel) else []
+            if not rel.endswith("__init__.py"):
+                package_parts = package_parts[:-1]
+            if level - 1 > 0:
+                package_parts = package_parts[: len(package_parts) - (level - 1)]
+            dotted = ".".join(package_parts + ([module] if module else []))
+        if dotted in self.module_rel:
+            return self.module_rel[dotted]
+        return None
+
+    # -- class helpers ---------------------------------------------------------
+
+    def _resolve_class_name(
+        self, rel: str, name: str
+    ) -> Optional[Tuple[str, str]]:
+        """Find class *name* as visible from module *rel* -> (rel, name)."""
+        simple = name.split(".")[-1]
+        if (rel, simple) in self.classes:
+            return (rel, simple)
+        resolved = self._resolve_import(rel, name.split(".")[0])
+        if resolved is not None:
+            kind, payload = resolved
+            if kind == "class":
+                class_rel, class_name = payload.split("::", 1)
+                return (class_rel, class_name)
+            if kind == "module" and "." in name:
+                target_rel = payload
+                if (target_rel, simple) in self.classes:
+                    return (target_rel, simple)
+        return None
+
+    def _find_method(
+        self, class_rel: str, class_name: str, method: str, depth: int = 0
+    ) -> Optional[FunctionId]:
+        """Resolve a method through the class and its in-tree bases."""
+        if depth > 4:
+            return None
+        cls = self.classes.get((class_rel, class_name))
+        if cls is None:
+            return None
+        if method in cls["methods"]:
+            return function_id(class_rel, f"{class_name}.{method}")
+        for base in cls["bases"]:
+            located = self._resolve_class_name(class_rel, base)
+            if located is not None:
+                found = self._find_method(located[0], located[1], method, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    # -- linking ---------------------------------------------------------------
+
+    def _resolve_call(
+        self, rel: str, caller_qualname: str, call: dict
+    ) -> Optional[FunctionId]:
+        kind = call["kind"]
+        target = call["target"]
+        if kind == "self":
+            located = self._find_method(rel, call["recv_class"], target)
+            return located
+        if kind == "typed":
+            located = self._resolve_class_name(rel, call["recv_class"])
+            if located is None:
+                return None
+            return self._find_method(located[0], located[1], target)
+        if kind == "name":
+            # local module function?
+            if target in self.summaries[rel]["functions"]:
+                return function_id(rel, target)
+            if (rel, target) in self.classes:
+                return self._find_method(rel, target, "__init__")
+            resolved = self._resolve_import(rel, target)
+            if resolved is None:
+                return None
+            res_kind, payload = resolved
+            if res_kind == "function":
+                return payload
+            if res_kind == "class":
+                class_rel, class_name = payload.split("::", 1)
+                return self._find_method(class_rel, class_name, "__init__")
+            return None
+        if kind == "dotted":
+            head, _, rest = target.partition(".")
+            if not rest:
+                return None
+            resolved = self._resolve_import(rel, head)
+            if resolved is None:
+                return None
+            res_kind, payload = resolved
+            if res_kind != "module":
+                # Class attribute access (K.staticmethod) — try methods.
+                if res_kind == "class" and "." not in rest:
+                    class_rel, class_name = payload.split("::", 1)
+                    return self._find_method(class_rel, class_name, rest)
+                return None
+            target_rel = payload
+            parts = rest.split(".")
+            if len(parts) == 1:
+                if parts[0] in self.summaries[target_rel]["functions"]:
+                    return function_id(target_rel, parts[0])
+                if (target_rel, parts[0]) in self.classes:
+                    return self._find_method(target_rel, parts[0], "__init__")
+                return None
+            if len(parts) == 2 and (target_rel, parts[0]) in self.classes:
+                return self._find_method(target_rel, parts[0], parts[1])
+            return None
+        return None
+
+    def _omitted_params(self, callee: dict, call: dict, is_method: bool) -> Tuple[str, ...]:
+        """Parameters of *callee* that this call left to their defaults."""
+        if call["has_star"]:
+            return ()
+        params: List[str] = list(callee["params"])
+        if is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        provided: Set[str] = set(params[: call["nargs"]])
+        provided.update(call["kwargs"])
+        omitted = [p for p in params if p not in provided]
+        omitted.extend(
+            k for k in callee.get("kwonly", ()) if k not in call["kwargs"]
+        )
+        return tuple(omitted)
+
+    def _link(self) -> None:
+        for rel in self.summaries:
+            for qualname in sorted(self.summaries[rel]["functions"]):
+                caller_id = function_id(rel, qualname)
+                caller = self.summaries[rel]["functions"][qualname]
+                out: List[Tuple[FunctionId, int, int]] = []
+                for call in caller["calls"]:
+                    callee_id = self._resolve_call(rel, qualname, call)
+                    if callee_id is None:
+                        continue
+                    callee = self.functions[callee_id]
+                    out.append((callee_id, call["line"], call["col"]))
+                    self.redges.setdefault(callee_id, []).append(
+                        (caller_id, call["line"], call["col"])
+                    )
+                    if callee["rng_params"]:
+                        omitted = self._omitted_params(
+                            callee, call, callee["method_of"] is not None
+                        )
+                        rng_omitted = tuple(
+                            p for p in omitted if p in callee["rng_params"]
+                        )
+                        if rng_omitted:
+                            self.omissions.setdefault(callee_id, []).append(
+                                (caller_id, call["line"], call["col"], rng_omitted)
+                            )
+                    arg0 = call.get("arg0_class")
+                    if arg0 is not None:
+                        located = self._resolve_class_name(rel, arg0)
+                        if located is not None:
+                            self.typed_arg0.append(
+                                (
+                                    caller_id,
+                                    callee_id,
+                                    call["line"],
+                                    call["col"],
+                                    located[0],
+                                    located[1],
+                                )
+                            )
+                if out:
+                    self.edges[caller_id] = out
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self.edges.values())
+
+    def function_rel(self, fid: FunctionId) -> str:
+        return fid.split("::", 1)[0]
+
+    def function_qualname(self, fid: FunctionId) -> str:
+        return fid.split("::", 1)[1]

@@ -1,0 +1,103 @@
+"""Purity manifest: per-entry-point determinism verdicts, committed.
+
+The flow engine's fixpoint yields a verdict for every campaign entry
+point: ``pure-given-seed`` (no global entropy and no wall-clock read is
+reachable), ``entropy-tainted`` or ``clock-tainted`` (with the witness
+chain).  :func:`manifest_document` freezes those verdicts into a
+canonical JSON document committed at the repo root as
+``purity_manifest.json``; CI regenerates it and fails on drift, so any
+change to the deterministic surface of the campaign/scheduler/faults/obs
+layers is an explicit, reviewed diff — not a silent regression the
+property suites may or may not catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .callgraph import CallGraph, FunctionId
+from .taint import TaintState
+
+MANIFEST_SCHEMA = "zcover-purity-manifest"
+MANIFEST_VERSION = 1
+
+PURE = "pure-given-seed"
+ENTROPY_TAINTED = "entropy-tainted"
+CLOCK_TAINTED = "clock-tainted"
+
+
+def entry_verdicts(
+    graph: CallGraph,
+    entries: List[FunctionId],
+    entropy: TaintState,
+    clock: TaintState,
+) -> Dict[FunctionId, dict]:
+    """One verdict record per entry point, keyed by FunctionId."""
+    verdicts: Dict[FunctionId, dict] = {}
+    for fid in sorted(entries):
+        taints = []
+        chains = {}
+        if fid in entropy:
+            taints.append(ENTROPY_TAINTED)
+            chains["entropy"] = entropy.chain(graph, fid)
+        if fid in clock:
+            taints.append(CLOCK_TAINTED)
+            chains["clock"] = clock.chain(graph, fid)
+        record = {
+            "verdict": taints[0] if taints else PURE,
+            "taints": taints,
+        }
+        if chains:
+            record["chains"] = {k: chains[k] for k in sorted(chains)}
+        verdicts[fid] = record
+    return verdicts
+
+
+def manifest_document(
+    graph: CallGraph,
+    verdicts: Dict[FunctionId, dict],
+) -> dict:
+    """The canonical manifest document (stable key order throughout)."""
+    per_module: Dict[str, Dict[str, int]] = {}
+    for fid in verdicts:
+        rel = graph.function_rel(fid)
+        counts = per_module.setdefault(rel, {"entry_points": 0, "pure": 0, "tainted": 0})
+        counts["entry_points"] += 1
+        if verdicts[fid]["verdict"] == PURE:
+            counts["pure"] += 1
+        else:
+            counts["tainted"] += 1
+    tainted = sorted(f for f in verdicts if verdicts[f]["verdict"] != PURE)
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "version": MANIFEST_VERSION,
+        "summary": {
+            "entry_points": len(verdicts),
+            "pure": sum(1 for f in verdicts if verdicts[f]["verdict"] == PURE),
+            "tainted": len(tainted),
+            "functions": len(graph.functions),
+            "call_edges": graph.edge_count,
+        },
+        "modules": {rel: per_module[rel] for rel in sorted(per_module)},
+        "entry_points": {fid: verdicts[fid] for fid in sorted(verdicts)},
+        "tainted_entry_points": tainted,
+    }
+
+
+def diff_manifests(committed: dict, current: dict) -> List[str]:
+    """Human-readable drift lines between two manifests (empty = clean)."""
+    lines: List[str] = []
+    old_entries = committed.get("entry_points", {})
+    new_entries = current.get("entry_points", {})
+    for fid in sorted(set(old_entries) | set(new_entries)):
+        old: Optional[dict] = old_entries.get(fid)
+        new: Optional[dict] = new_entries.get(fid)
+        if old is None:
+            lines.append(f"+ {fid}: new entry point ({new['verdict']})")
+        elif new is None:
+            lines.append(f"- {fid}: entry point removed (was {old['verdict']})")
+        elif old["verdict"] != new["verdict"]:
+            lines.append(f"! {fid}: {old['verdict']} -> {new['verdict']}")
+    if not lines and committed != current:
+        lines.append("~ manifest metadata drifted (summary/module counts)")
+    return lines

@@ -3,6 +3,10 @@
 ``run_lint()`` is the single entry point used by both ``zcover lint``
 and the test suite.  The default root is the installed ``repro`` package
 itself, so the gate always inspects the code that is actually running.
+The flow engine (:mod:`repro.lint.flow`) joins the three syntactic
+families by default; ``jobs``/``cache_path`` thread straight through to
+its sharded summarize stage, and the resulting purity manifest rides on
+the report for the CLI's ``--write-manifest``/``--check-manifest``.
 """
 
 from __future__ import annotations
@@ -20,17 +24,26 @@ from .findings import (
 )
 
 
-def default_analyzers(registry=None) -> List[Analyzer]:
-    """The three rule families, in reporting order."""
+def default_analyzers(
+    registry=None,
+    jobs: int = 1,
+    cache_path: Optional[Path] = None,
+    flow: bool = True,
+) -> List[Analyzer]:
+    """The four rule families, in reporting order."""
     from .conformance import ConformanceAnalyzer
     from .determinism import DeterminismAnalyzer
+    from .flow import FlowAnalyzer
     from .wiresafety import WireSafetyAnalyzer
 
-    return [
+    analyzers: List[Analyzer] = [
         DeterminismAnalyzer(),
         ConformanceAnalyzer(registry=registry),
         WireSafetyAnalyzer(),
     ]
+    if flow:
+        analyzers.append(FlowAnalyzer(jobs=jobs, cache_path=cache_path))
+    return analyzers
 
 
 @dataclass
@@ -39,6 +52,10 @@ class LintReport:
 
     root: Path
     findings: List[LintFinding] = field(default_factory=list)
+    #: Purity manifest from the flow analyzer (None when flow is off).
+    manifest: Optional[dict] = None
+    #: The analyzers that ran (rule tables feed the SARIF driver).
+    analyzers: List[Analyzer] = field(default_factory=list)
 
     @property
     def errors(self) -> int:
@@ -53,17 +70,29 @@ class LintReport:
         """Non-zero iff any ERROR-severity finding survived suppression."""
         return 1 if self.errors else 0
 
+    def strict_exit_code(self) -> int:
+        """Non-zero if *anything* survived suppression, warnings included."""
+        return 1 if self.findings else 0
+
     def to_document(self) -> dict:
         return findings_to_document(self.findings)
 
     def render(self) -> str:
         return render_findings(self.findings)
 
+    def render_sarif(self) -> str:
+        from .sarif import render_sarif
+
+        return render_sarif(self.findings, self.analyzers)
+
 
 def run_lint(
     root: Optional[Path] = None,
     analyzers: Optional[List[Analyzer]] = None,
     registry=None,
+    jobs: int = 1,
+    cache_path: Optional[Path] = None,
+    flow: bool = True,
 ) -> LintReport:
     """Lint every ``*.py`` under *root* (default: the ``repro`` package)."""
     if root is None:
@@ -71,10 +100,17 @@ def run_lint(
     root = Path(root)
     sources = collect_sources(root)
     if analyzers is None:
-        analyzers = default_analyzers(registry=registry)
+        analyzers = default_analyzers(
+            registry=registry, jobs=jobs, cache_path=cache_path, flow=flow
+        )
     findings: List[LintFinding] = []
+    manifest: Optional[dict] = None
     for analyzer in analyzers:
         findings.extend(analyzer.analyze(sources))
+        if getattr(analyzer, "manifest", None) is not None:
+            manifest = analyzer.manifest
     findings = apply_suppressions(findings, sources)
     findings.sort(key=lambda f: f.sort_key)
-    return LintReport(root=root, findings=findings)
+    return LintReport(
+        root=root, findings=findings, manifest=manifest, analyzers=list(analyzers)
+    )

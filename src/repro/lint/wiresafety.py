@@ -42,7 +42,7 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
-from .base import Analyzer, SourceFile, dotted_name
+from .base import Analyzer, SourceFile, class_kind, dotted_name
 from .findings import LintFinding, Severity
 
 #: Non-dataclass types with hand-written codecs in ``core/resultio.py``.
@@ -74,8 +74,6 @@ _CONTAINERS = frozenset(
 
 _BANNED = frozenset({"Any", "object"})
 
-_ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "IntFlag", "Flag"})
-
 
 @dataclass
 class _ClassInfo:
@@ -84,17 +82,33 @@ class _ClassInfo:
     kind: str  # "dataclass" | "enum" | "class"
 
 
-def _class_kind(node: ast.ClassDef) -> str:
-    for deco in node.decorator_list:
-        target = deco.func if isinstance(deco, ast.Call) else deco
-        name = dotted_name(target)
-        if name is not None and name.split(".")[-1] == "dataclass":
-            return "dataclass"
-    for base in node.bases:
-        name = dotted_name(base)
-        if name is not None and name.split(".")[-1] in _ENUM_BASES:
-            return "enum"
-    return "class"
+def wire_vocabulary(
+    sources: List[SourceFile], wire_module: str = WIRE_MODULE
+) -> List[str]:
+    """The wire codec's type vocabulary, as local names.
+
+    Types :mod:`repro.core.resultio` imports at module level from inside
+    the package.  On a tree without the wire module (synthetic unit-test
+    trees) every module-level dataclass is in the vocabulary instead —
+    the same fallback both W3xx and the flow engine's W401 use.
+    """
+    wire = next((s for s in sources if s.rel == wire_module), None)
+    if wire is None:
+        names = set()
+        for source in sources:
+            for node in source.tree.body:
+                if isinstance(node, ast.ClassDef) and class_kind(node) == "dataclass":
+                    names.add(node.name)
+        return sorted(names)
+    roots: List[str] = []
+    for node in wire.tree.body:  # module level only, by design
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        in_package = node.level > 0 or (node.module or "").split(".")[0] == "repro"
+        if not in_package:
+            continue
+        roots.extend(alias.asname or alias.name for alias in node.names)
+    return sorted(set(roots))
 
 
 class WireSafetyAnalyzer(Analyzer):
@@ -144,7 +158,7 @@ class WireSafetyAnalyzer(Analyzer):
         for source in sources:
             for node in source.tree.body:
                 if isinstance(node, ast.ClassDef):
-                    index[node.name] = _ClassInfo(source, node, _class_kind(node))
+                    index[node.name] = _ClassInfo(source, node, class_kind(node))
                 elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     functions.add(node.name)
                 elif (
@@ -159,22 +173,7 @@ class WireSafetyAnalyzer(Analyzer):
     def _wire_roots(
         self, sources: List[SourceFile], index: Dict[str, _ClassInfo]
     ) -> List[str]:
-        wire = next((s for s in sources if s.rel == self._wire_module), None)
-        if wire is None:
-            return sorted(
-                name for name, info in index.items() if info.kind == "dataclass"
-            )
-        roots: List[str] = []
-        for node in wire.tree.body:  # module level only, by design
-            if not isinstance(node, ast.ImportFrom):
-                continue
-            in_package = node.level > 0 or (
-                node.module or ""
-            ).split(".")[0] == "repro"
-            if not in_package:
-                continue
-            roots.extend(alias.asname or alias.name for alias in node.names)
-        return sorted(set(roots))
+        return wire_vocabulary(sources, self._wire_module)
 
     # -- recursive type checking -----------------------------------------------
 

@@ -248,6 +248,69 @@ def prepare_resultio_wire(fast: bool) -> Callable[[], WorkloadRun]:
     return run
 
 
+# -- lint over a synthetic tree -------------------------------------------------
+
+
+def prepare_lint_tree(fast: bool) -> Callable[[], WorkloadRun]:
+    """All four lint families over a seeded synthetic tree.
+
+    The tree is generated in ``prepare`` from a fixed seed — never the
+    real package, whose checksums would drift on every source edit — and
+    each thunk call re-parses it and runs the full analyzer stack, so
+    the measured loop covers ``ast.parse``, the shared node/scope caches
+    (the parse-once fix this workload pins), and the flow engine's
+    summarize/link/fixpoint pipeline.
+    """
+    from ..lint.base import SourceFile
+    from ..lint.runner import default_analyzers
+
+    rng = random.Random(0x11A7)
+    n_files = 12 if fast else 36
+    texts = []
+    for i in range(n_files):
+        lines = ["import random", "import time", ""]
+        for j in range(6):
+            roll = rng.random()
+            name = f"f_{i}_{j}"
+            if roll < 0.2:
+                lines += [f"def {name}():", "    return random.random()"]
+            elif roll < 0.35:
+                lines += [f"def {name}():", "    return time.time()"]
+            elif roll < 0.5 and i > 0:
+                callee = rng.randrange(i)
+                lines += [
+                    f"from pkg.mod_{callee} import f_{callee}_0",
+                    f"def {name}(seed):",
+                    f"    return f_{callee}_0(seed)",
+                ]
+            elif roll < 0.6:
+                lines += [
+                    f"def {name}(rng=None):",
+                    "    return rng.random()",
+                    f"def call_{name}():",
+                    f"    return {name}()",
+                ]
+            else:
+                lines += [
+                    f"def {name}(seed, rng=random.Random(0)):",
+                    f"    return seed * {j} + rng.randrange(4)",
+                ]
+        texts.append((f"pkg/mod_{i}.py", "\n".join(lines) + "\n"))
+
+    def run() -> WorkloadRun:
+        sources = [SourceFile.from_text(rel, text) for rel, text in texts]
+        checksum = 0
+        count = 0
+        for analyzer in default_analyzers():
+            for finding in analyzer.analyze(sources):
+                line = f"{finding.path}:{finding.line}:{finding.col}:{finding.rule}"
+                checksum = _crc(checksum, line.encode())
+                count += 1
+        return WorkloadRun(count, checksum)
+
+    return run
+
+
 #: Registry of every workload, in canonical execution order.  The
 #: calibration loop always runs (the bench harness prepends it when a
 #: subset omits it) because every document ratio is relative to it.
@@ -258,4 +321,5 @@ WORKLOADS: Dict[str, WorkloadPrepare] = {
     "controller_dispatch": prepare_controller_dispatch,
     "campaign_fps": prepare_campaign_fps,
     "resultio_wire": prepare_resultio_wire,
+    "lint_tree": prepare_lint_tree,
 }

@@ -128,5 +128,110 @@ class TestRulesListing:
         code, out = run_cli(capsys, "--rules")
         assert code == 0
         for rule in ("D101", "D102", "D103", "C201", "C202", "C203", "C204",
-                     "W301", "W302"):
+                     "W301", "W302", "D201", "D202", "D203", "D204", "W401"):
             assert rule in out
+
+
+class TestSarifOutput:
+    def test_sarif_matches_golden(self, capsys):
+        code, out = run_cli(capsys, "--root", str(FIXTURE), "--format", "sarif")
+        assert code == 1
+        produced = json.loads(out)
+        expected = json.loads((DATA / "lint_golden.sarif").read_text(encoding="utf-8"))
+        assert produced == expected
+
+    def test_sarif_envelope(self, capsys):
+        _, out = run_cli(capsys, "--root", str(FIXTURE), "--format", "sarif")
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "zcover-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"D101", "D201", "D204", "W401", "C201", "W301"} <= rule_ids
+        for result in run["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_out_writes_file(self, capsys, tmp_path):
+        target = tmp_path / "lint.sarif"
+        code, out = run_cli(
+            capsys, "--root", str(FIXTURE), "--format", "sarif",
+            "--out", str(target),
+        )
+        assert code == 1
+        assert "written to" in out
+        assert json.loads(target.read_text(encoding="utf-8"))["version"] == "2.1.0"
+
+
+class TestStrict:
+    WARN_ONLY = (
+        "def g(registry, p):\n"
+        "    registry.get(p.cmdcl)\n"
+        "import time\n"
+        "t = time.time()  # lint: allow[D101]\n"
+    )
+
+    def test_strict_fails_on_warnings(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(self.WARN_ONLY, encoding="utf-8")
+        code, _ = run_cli(capsys, "--root", str(tmp_path), "--strict")
+        assert code == 1
+
+    def test_default_passes_on_warnings(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(self.WARN_ONLY, encoding="utf-8")
+        code, _ = run_cli(capsys, "--root", str(tmp_path))
+        assert code == 0
+
+    def test_real_tree_survives_strict(self, capsys):
+        code, _ = run_cli(capsys, "--strict")
+        assert code == 0
+
+
+class TestJobs:
+    def test_jobs2_byte_identical_to_serial(self, capsys):
+        _, serial = run_cli(capsys, "--root", str(FIXTURE), "--format", "json")
+        _, sharded = run_cli(
+            capsys, "--root", str(FIXTURE), "--format", "json", "--jobs", "2"
+        )
+        assert serial == sharded
+
+
+class TestManifestCli:
+    GOLDEN_MANIFEST = DATA / "purity_manifest_golden.json"
+
+    def test_write_matches_golden(self, capsys, tmp_path):
+        target = tmp_path / "manifest.json"
+        run_cli(
+            capsys, "--root", str(FIXTURE), "--write-manifest", str(target)
+        )
+        assert target.read_text(encoding="utf-8") == self.GOLDEN_MANIFEST.read_text(
+            encoding="utf-8"
+        )
+
+    def test_check_clean(self, capsys):
+        code, out = run_cli(
+            capsys, "--root", str(FIXTURE),
+            "--check-manifest", str(self.GOLDEN_MANIFEST),
+        )
+        # Findings still fail the run (exit 1) but the manifest matches.
+        assert code == 1
+        assert "matches" in out
+
+    def test_check_drift_exits_2(self, capsys, tmp_path):
+        drifted = json.loads(self.GOLDEN_MANIFEST.read_text(encoding="utf-8"))
+        drifted["entry_points"]["mod.py::dispatch"]["verdict"] = "pure-given-seed"
+        stale = tmp_path / "manifest.json"
+        stale.write_text(json.dumps(drifted), encoding="utf-8")
+        code, out = run_cli(
+            capsys, "--root", str(FIXTURE), "--check-manifest", str(stale)
+        )
+        assert code == 2
+        assert "drift" in out
+        assert "mod.py::dispatch" in out
+
+    def test_check_unreadable_exits_2(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "--root", str(FIXTURE),
+            "--check-manifest", str(tmp_path / "missing.json"),
+        )
+        assert code == 2
+        assert "unreadable" in out

@@ -1,0 +1,134 @@
+"""Property suite for the flow engine: byte-identical output, any path.
+
+The flow engine's core contract is that findings and the purity manifest
+are pure functions of the source text — independent of worker count,
+cache temperature and repetition.  These tests pin that on randomly
+generated (but seeded) synthetic trees and on the real package tree.
+"""
+
+import random
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.base import SourceFile
+from repro.lint.flow import FlowAnalyzer
+from repro.obs.export import canonical_dumps
+
+SEEDS = [0, 1, 7, 42, 1337]
+
+_CLEAN_BODY = "    return seed * {k}\n"
+_ENTROPY_BODY = "    return random.random()\n"
+_CLOCK_BODY = "    return time.time()\n"
+_DEFAULT_FUNC = (
+    "def draw_{k}(rng=None):\n"
+    "    return rng.random()\n"
+)
+
+
+def generate_tree(seed, n_files=6):
+    """A deterministic random tree mixing clean and tainted call chains."""
+    rng = random.Random(seed)
+    files = {}
+    for i in range(n_files):
+        rel = f"pkg/mod_{i}.py"
+        lines = ["import random", "import time", ""]
+        for j in range(rng.randint(2, 5)):
+            kind = rng.choice(["clean", "entropy", "clock", "call", "default"])
+            name = f"f_{i}_{j}"
+            if kind == "call" and i > 0:
+                callee_mod = rng.randrange(i)
+                lines.append(f"from pkg.mod_{callee_mod} import f_{callee_mod}_0")
+                lines.append(f"def {name}(seed):")
+                lines.append(f"    return f_{callee_mod}_0(seed)")
+            elif kind == "entropy":
+                lines.append(f"def {name}(seed):")
+                lines.append(_ENTROPY_BODY.rstrip("\n"))
+            elif kind == "clock":
+                lines.append(f"def {name}(seed):")
+                lines.append(_CLOCK_BODY.rstrip("\n"))
+            elif kind == "default":
+                lines.append(_DEFAULT_FUNC.format(k=f"{i}_{j}").rstrip("\n"))
+                lines.append(f"def {name}(seed):")
+                lines.append(f"    return draw_{i}_{j}()")
+            else:
+                lines.append(f"def {name}(seed):")
+                lines.append(_CLEAN_BODY.format(k=j).rstrip("\n"))
+        files[rel] = "\n".join(lines) + "\n"
+    return files
+
+
+def sources_of(files):
+    return [SourceFile.from_text(rel, text) for rel, text in sorted(files.items())]
+
+
+def run_flow(files, **kwargs):
+    analyzer = FlowAnalyzer(**kwargs)
+    findings = analyzer.analyze(sources_of(files))
+    rendered = "\n".join(
+        f"{f.path}:{f.line}:{f.col} {f.rule} {f.message}" for f in sorted(
+            findings, key=lambda f: f.sort_key
+        )
+    )
+    return rendered, canonical_dumps(analyzer.manifest)
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_repeat_runs_are_byte_identical(self, seed):
+        files = generate_tree(seed)
+        first = run_flow(files)
+        second = run_flow(files)
+        assert first == second
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_serial_vs_jobs2_byte_identical(self, seed):
+        files = generate_tree(seed)
+        serial = run_flow(files, jobs=1)
+        sharded = run_flow(files, jobs=2)
+        assert serial == sharded
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_cold_vs_warm_cache_byte_identical(self, seed, tmp_path):
+        files = generate_tree(seed)
+        cache = tmp_path / "cache.json"
+        cold = run_flow(files, cache_path=cache)
+        warm = run_flow(files, cache_path=cache)
+        assert cold == warm
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_tainted_trees_produce_findings(self, seed):
+        # The generator mixes entropy/clock bodies in; a tree that never
+        # produced findings would make the identity tests vacuous.
+        rendered, _ = run_flow(generate_tree(seed))
+        assert rendered != ""
+
+
+class TestRealTree:
+    def test_serial_vs_jobs2_full_report(self):
+        serial = run_lint(jobs=1)
+        sharded = run_lint(jobs=2)
+        assert serial.render() == sharded.render()
+        assert canonical_dumps(serial.to_document()) == canonical_dumps(
+            sharded.to_document()
+        )
+        assert serial.render_sarif() == sharded.render_sarif()
+        assert canonical_dumps(serial.manifest) == canonical_dumps(sharded.manifest)
+
+    def test_committed_manifest_is_current(self):
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parents[1] / "purity_manifest.json"
+        report = run_lint()
+        assert canonical_dumps(report.manifest) == committed.read_text(
+            encoding="utf-8"
+        )
+
+    def test_all_campaign_entry_points_are_pure(self):
+        report = run_lint()
+        manifest = report.manifest
+        assert manifest["tainted_entry_points"] == []
+        # The gated layers are actually represented in the manifest.
+        gated = {"core/campaign.py", "core/scheduler.py", "faults/plan.py",
+                 "obs/metrics.py"}
+        assert gated <= set(manifest["modules"])
