@@ -512,6 +512,84 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if summary.failures else 0
 
 
+def cmd_sessions(args: argparse.Namespace) -> int:
+    """Stateful session fuzzing of the multi-frame protocol flows.
+
+    Drives seeded mutated frame *sequences* (reorder, drop, replay, field
+    mutation, downgrade/early-commit injection) through the explicit state
+    graphs of inclusion, exclusion, replication, S0/S2 key exchange and
+    OTA transfer, and matches the planted session-level oracle.  Output is
+    a pure function of (device, flows, plan, seed): serial and
+    ``--workers N`` runs are byte-identical, which the CI flaky-detector
+    diff pins via ``--json``.
+    """
+    from .core.resultio import dumps_wire, session_to_wire
+    from .core.session import (
+        FLOWS,
+        planted_vuln_ids,
+        run_sessions,
+        session_plan_with_trials,
+    )
+    from .simulator.vulnerabilities import session_vuln_by_id
+
+    if args.flows and args.flows != "all":
+        flows = tuple(flow.strip() for flow in args.flows.split(",") if flow.strip())
+    else:
+        flows = FLOWS
+    result = run_sessions(
+        device=args.device,
+        flows=flows,
+        seed=args.seed,
+        plan=session_plan_with_trials(args.trials),
+        workers=_resolve_workers_arg(args),
+    )
+    planted = planted_vuln_ids(result.flows)
+    found = result.found_vuln_ids
+    counters = result.metrics.counters if result.metrics else {}
+    print(
+        f"sessions {result.device} seed={result.seed}: "
+        f"{len(result.flows)} flow(s), {result.total_trials} trials, "
+        f"{len(found)}/{len(planted)} planted session bugs found"
+    )
+    for flow in result.flows:
+        transitions = counters.get(f"session.transitions.{flow}", 0)
+        windows = sum(
+            1 for f, _trials, _reason in result.energy_trace if f == flow
+        )
+        print(
+            f"  {flow:<12} trials={result.trials_by_flow.get(flow, 0):<3} "
+            f"transitions={transitions:<3} windows={windows}"
+        )
+    for bug in result.bugs:
+        vuln = session_vuln_by_id(bug.vuln_id)
+        print(
+            f"  [{bug.vuln_id}] {bug.flow} trial {bug.trial} "
+            f"seq {bug.sequence_index} state={bug.state} — {vuln.name}"
+        )
+    missing = sorted(set(planted) - set(found))
+    if missing:
+        print(f"  MISSING planted bugs: {', '.join(missing)}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(dumps_wire(session_to_wire(result)) + "\n")
+        print(f"wire result written to {args.json}")
+    if args.metrics_out:
+        write_document(
+            snapshot_to_document(
+                result.metrics,
+                meta={
+                    "kind": "sessions",
+                    "device": result.device,
+                    "seed": result.seed,
+                    "flows": ",".join(result.flows),
+                },
+            ),
+            args.metrics_out,
+        )
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if missing else 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Inspect observability metrics: run a campaign or read a document.
 
@@ -741,6 +819,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(chaos)
     _add_metrics_out(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    sessions = sub.add_parser(
+        "sessions",
+        help="stateful session fuzzing: inclusion, S0/S2 handshake, OTA",
+    )
+    _add_common(sessions)
+    sessions.add_argument(
+        "--flows",
+        default="all",
+        help="comma-separated flow subset (inclusion, exclusion, replication, "
+        "s0, s2, ota) or 'all' (default)",
+    )
+    sessions.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trials per flow (default: the stock plan's 24; the directed "
+        "probe corpus always runs first)",
+    )
+    _add_workers(sessions)
+    sessions.add_argument(
+        "--json",
+        help="write the canonical wire-v5 result JSON here (byte-identical "
+        "serial vs --workers N; the CI determinism diff reads this)",
+    )
+    _add_metrics_out(sessions)
+    sessions.set_defaults(func=cmd_sessions)
 
     obs = sub.add_parser("obs", help="observability: metrics + tracing spans")
     _add_common(obs)

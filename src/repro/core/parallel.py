@@ -84,8 +84,16 @@ class CampaignUnit:
     #: fault injection (JSON string — keeps the unit hashable and
     #: picklable); None in production.
     fault_plan_json: Optional[str] = None
+    #: Session flow name (kind "sessions" only): each flow is its own
+    #: shard, so per-flow results merge in canonical flow order.
+    flow: str = ""
+    #: Serialised :class:`~repro.core.session.SessionPlan` (kind
+    #: "sessions" only); None means the stock plan.
+    session_plan_json: Optional[str] = None
 
     def label(self) -> str:
+        if self.kind == "sessions":
+            return f"{self.kind}:{self.device}:{self.flow}:seed={self.seed}"
         suffix = "" if self.scheduler == "static" else f":{self.scheduler}"
         return f"{self.kind}:{self.device}:{self.mode.name}:seed={self.seed}{suffix}"
 
@@ -152,24 +160,39 @@ def execute_unit(unit: CampaignUnit) -> Any:
 
         sut = build_sut(unit.device, seed=unit.seed)
         return VFuzzBaseline(sut, seed=unit.seed).run(unit.duration)
+    if unit.kind == "sessions":
+        from .session import loads_session_plan, run_session_flow
+
+        session_plan = (
+            None
+            if unit.session_plan_json is None
+            else loads_session_plan(unit.session_plan_json)
+        )
+        return run_session_flow(
+            device=unit.device, flow=unit.flow, seed=unit.seed, plan=session_plan
+        )
     raise CampaignError(f"unknown campaign-unit kind {unit.kind!r}")
 
 
 def execute_unit_to_wire(unit: CampaignUnit) -> dict:
     """Worker entry point: run one unit, return its wire-form result."""
-    from .resultio import campaign_to_wire, vfuzz_to_wire
+    from .resultio import campaign_to_wire, session_to_wire, vfuzz_to_wire
 
     result = execute_unit(unit)
     if unit.kind == "vfuzz":
         return vfuzz_to_wire(result)
+    if unit.kind == "sessions":
+        return session_to_wire(result)
     return campaign_to_wire(result)
 
 
 def _rehydrate(unit: CampaignUnit, wire: dict) -> Any:
-    from .resultio import campaign_from_wire, vfuzz_from_wire
+    from .resultio import campaign_from_wire, session_from_wire, vfuzz_from_wire
 
     if unit.kind == "vfuzz":
         return vfuzz_from_wire(wire)
+    if unit.kind == "sessions":
+        return session_from_wire(wire)
     return campaign_from_wire(wire)
 
 

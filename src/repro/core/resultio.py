@@ -22,7 +22,7 @@ have produced them — regardless of worker completion order.
 from __future__ import annotations
 
 import json
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..faults.plan import DegradationRecord
 from ..obs.metrics import MetricsSnapshot, SpanStats
@@ -32,6 +32,7 @@ from .campaign import CampaignResult, Mode
 from .fuzzer import DetectionMark, FuzzResult, TimelinePoint
 from .monitor import ObservedKind
 from .properties import ControllerProperties
+from .session import SessionBugRecord, SessionResult
 from .tester import Signature, VerifiedFinding, VerifiedUnique
 
 #: Wire-format version, bumped on incompatible layout changes so stale
@@ -39,8 +40,9 @@ from .tester import Signature, VerifiedFinding, VerifiedUnique
 #: v2 added the per-campaign ``metrics`` snapshot (repro.obs); v3 the
 #: ``degradation`` record (repro.faults graceful degradation); v4 the
 #: ``scheduler`` knob and ``scheduler_trace`` decision log
-#: (repro.core.scheduler).
-WIRE_VERSION = 4
+#: (repro.core.scheduler); v5 the session-fuzzer payloads
+#: (``SessionResult``/``SessionBugRecord``, repro.core.session).
+WIRE_VERSION = 5
 
 
 class WireError(ValueError):
@@ -283,6 +285,68 @@ def vfuzz_from_wire(data: dict) -> VFuzzResult:
         cmdcls_used=set(data["cmdcls_used"]),
         cmds_used=set(data["cmds_used"]),
         detections=[(t, n) for t, n in data["detections"]],
+        metrics=snapshot_from_wire(data.get("metrics")),
+    )
+
+
+# -- session-fuzzer results ----------------------------------------------------
+
+
+def session_bug_to_wire(bug: SessionBugRecord) -> list:
+    """Reduce one planted-bug discovery to plain data."""
+    return [bug.flow, bug.trial, bug.sequence_index, bug.vuln_id, bug.state]
+
+
+def session_bug_from_wire(data: Sequence) -> SessionBugRecord:
+    """Rebuild a :class:`SessionBugRecord` from its wire form."""
+    flow, trial, sequence_index, vuln_id, state = data
+    return SessionBugRecord(
+        flow=flow,
+        trial=trial,
+        sequence_index=sequence_index,
+        vuln_id=vuln_id,
+        state=state,
+    )
+
+
+def session_to_wire(result: SessionResult) -> dict:
+    """Reduce a session-fuzzer result to plain JSON-serialisable data."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": "sessions",
+        "device": result.device,
+        "seed": result.seed,
+        "flows": list(result.flows),
+        "trials_by_flow": dict(result.trials_by_flow),
+        "op_counts": dict(result.op_counts),
+        "trajectory": [[flow, trial, label] for flow, trial, label in result.trajectory],
+        "bugs": [session_bug_to_wire(bug) for bug in result.bugs],
+        "energy_trace": [
+            [flow, trials, reason] for flow, trials, reason in result.energy_trace
+        ],
+        "metrics": snapshot_to_wire(result.metrics),
+    }
+
+
+def session_from_wire(data: dict) -> SessionResult:
+    """Rebuild a :class:`SessionResult`, rejecting mismatched versions."""
+    if data.get("wire_version") != WIRE_VERSION:
+        raise WireError(
+            f"wire version {data.get('wire_version')!r} != expected {WIRE_VERSION}"
+        )
+    return SessionResult(
+        device=data["device"],
+        seed=data["seed"],
+        flows=tuple(data["flows"]),
+        trials_by_flow=dict(data["trials_by_flow"]),
+        op_counts=dict(data["op_counts"]),
+        trajectory=tuple(
+            (flow, trial, label) for flow, trial, label in data["trajectory"]
+        ),
+        bugs=tuple(session_bug_from_wire(entry) for entry in data["bugs"]),
+        energy_trace=tuple(
+            (flow, trials, reason) for flow, trials, reason in data["energy_trace"]
+        ),
         metrics=snapshot_from_wire(data.get("metrics")),
     )
 

@@ -45,6 +45,7 @@ DEFAULT_ENTRY_MODULES: Tuple[str, ...] = (
     "core/trials.py",
     "core/parallel.py",
     "core/scheduler.py",
+    "core/session.py",
     "faults/plan.py",
     "faults/schedule.py",
     "faults/injector.py",

@@ -28,9 +28,12 @@ from .metrics import (
     frames_per_bug,
     format_frames_per_bug,
     harness_snapshot,
+    is_state_coverage_key,
     merge_all,
     merge_snapshots,
     parse_coverage_key,
+    parse_state_coverage_key,
+    state_coverage_key,
 )
 from .tracing import SpanRecord, Tracer, current_tracer, span, tracing_to
 
@@ -47,9 +50,12 @@ __all__ = [
     "format_frames_per_bug",
     "frames_per_bug",
     "harness_snapshot",
+    "is_state_coverage_key",
     "merge_all",
     "merge_snapshots",
     "parse_coverage_key",
+    "parse_state_coverage_key",
     "span",
+    "state_coverage_key",
     "tracing_to",
 ]

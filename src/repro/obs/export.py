@@ -18,7 +18,9 @@ from .metrics import (
     HISTOGRAM_BOUNDS,
     MetricsSnapshot,
     SpanStats,
+    is_state_coverage_key,
     parse_coverage_key,
+    parse_state_coverage_key,
 )
 
 #: Document type marker, mirroring the lint report's schema envelope.
@@ -109,13 +111,38 @@ def load_document(path: str) -> dict:
 # -- text rendering ------------------------------------------------------------
 
 
+def _split_coverage(
+    coverage: Dict[str, int],
+) -> "tuple[Dict[str, int], Dict[str, int]]":
+    """Partition the bitmap into (CMDCL×CMD keys, session-transition keys).
+
+    The two families share one merged map (see
+    :func:`repro.obs.metrics.state_coverage_key`); every renderer must
+    split before parsing, since transition keys are not hex pairs.
+    """
+    pairs = {k: v for k, v in coverage.items() if not is_state_coverage_key(k)}
+    states = {k: v for k, v in coverage.items() if is_state_coverage_key(k)}
+    return pairs, states
+
+
 def _coverage_by_class(coverage: Dict[str, int]) -> Dict[int, int]:
     """Per-CMDCL count of distinct exercised coordinates."""
     classes: Dict[int, int] = {}
     for key in coverage:
+        if is_state_coverage_key(key):
+            continue
         cmdcl, _cmd = parse_coverage_key(key)
         classes[cmdcl] = classes.get(cmdcl, 0) + 1
     return classes
+
+
+def _transitions_by_flow(states: Dict[str, int]) -> Dict[str, int]:
+    """Per-flow count of distinct exercised state transitions."""
+    flows: Dict[str, int] = {}
+    for key in states:
+        flow, _state, _mark = parse_state_coverage_key(key)
+        flows[flow] = flows.get(flow, 0) + 1
+    return flows
 
 
 def render_text(doc: dict) -> str:
@@ -136,16 +163,27 @@ def render_text(doc: dict) -> str:
         width = max(len(name) for name in snapshot.gauges)
         for name in sorted(snapshot.gauges):
             lines.append(f"  {name.ljust(width)}  {snapshot.gauges[name]:g}")
-    if snapshot.coverage:
-        classes = _coverage_by_class(snapshot.coverage)
-        total_hits = sum(snapshot.coverage.values())
+    pairs, states = _split_coverage(snapshot.coverage)
+    if pairs:
+        classes = _coverage_by_class(pairs)
+        total_hits = sum(pairs.values())
         lines += [
             "",
-            f"coverage: {len(snapshot.coverage)} (cmdcl, cmd) coordinates over "
+            f"coverage: {len(pairs)} (cmdcl, cmd) coordinates over "
             f"{len(classes)} command classes, {total_hits} processed frames",
         ]
         for cmdcl in sorted(classes):
             lines.append(f"  0x{cmdcl:02x}: {classes[cmdcl]} coordinate(s)")
+    if states:
+        flows = _transitions_by_flow(states)
+        total_hits = sum(states.values())
+        lines += [
+            "",
+            f"session coverage: {len(states)} state transitions over "
+            f"{len(flows)} flows, {total_hits} consumed frames",
+        ]
+        for flow in sorted(flows):
+            lines.append(f"  {flow}: {flows[flow]} transition(s)")
     if snapshot.histograms:
         lines += ["", "histograms:"]
         for name in sorted(snapshot.histograms):
@@ -191,6 +229,13 @@ def render_prometheus(doc: dict) -> str:
     for name in sorted(snapshot.gauges):
         lines.append(f'zcover_gauge{{name="{name}"}} {snapshot.gauges[name]:g}')
     for key in sorted(snapshot.coverage):
+        if is_state_coverage_key(key):
+            flow, state, mark = parse_state_coverage_key(key)
+            lines.append(
+                f'zcover_session_transition_total{{flow="{flow}",state="{state}",'
+                f'mark="{mark}"}} {snapshot.coverage[key]}'
+            )
+            continue
         cmdcl, cmd = parse_coverage_key(key)
         cmd_label = "none" if cmd is None else f"{cmd:02x}"
         lines.append(

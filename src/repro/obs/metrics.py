@@ -96,6 +96,29 @@ def parse_coverage_key(key: str) -> Tuple[int, Optional[int]]:
     return int(cmdcl_hex, 16), None if cmd_hex == "-" else int(cmd_hex, 16)
 
 
+def state_coverage_key(flow: str, state: str, mark: str) -> str:
+    """Session-transition bitmap key: ``"<flow>@<state>><mark>"``.
+
+    Lives in the same coverage map as the CMDCL×CMD keys (so it merges,
+    rides the wire and snapshots for free) but is structurally disjoint
+    from them: hex keys never contain ``"@"``, and the scheduler's
+    ``"xx:"`` prefix filter never matches a flow name.
+    """
+    return f"{flow}@{state}>{mark}"
+
+
+def is_state_coverage_key(key: str) -> bool:
+    """Whether *key* is a session-transition key, not a CMDCL×CMD one."""
+    return "@" in key
+
+
+def parse_state_coverage_key(key: str) -> Tuple[str, str, str]:
+    """Invert :func:`state_coverage_key`."""
+    flow, _, rest = key.partition("@")
+    state, _, mark = rest.partition(">")
+    return flow, state, mark
+
+
 # -- the collector -------------------------------------------------------------
 
 
@@ -138,6 +161,11 @@ class MetricsCollector:
         key = coverage_key(cmdcl, cmd)
         self._coverage[key] = self._coverage.get(key, 0) + int(amount)
 
+    def cover_state(self, flow: str, state: str, mark: str, amount: int = 1) -> None:
+        """Mark one session-flow transition in the state×transition bitmap."""
+        key = state_coverage_key(flow, state, mark)
+        self._coverage[key] = self._coverage.get(key, 0) + int(amount)
+
     def coverage_size(self) -> int:
         """How many distinct coverage coordinates the bitmap holds.
 
@@ -160,6 +188,15 @@ class MetricsCollector:
             for key in self._coverage
             if key.startswith(prefix) and not key.endswith(":-")
         )
+
+    def covered_transitions(self, flow: str) -> int:
+        """Distinct ``(state, mark)`` transitions of *flow* seen so far.
+
+        The session energy loop's novelty signal, analogous to
+        :meth:`covered_pairs` for the CMDCL×CMD bitmap.
+        """
+        prefix = f"{flow}@"
+        return sum(1 for key in self._coverage if key.startswith(prefix))
 
     def record_span(self, name: str, sim_time_us: int) -> None:
         """Fold one completed span into the per-name aggregates."""
@@ -235,6 +272,12 @@ def cover(cmdcl: int, cmd: Optional[int] = None) -> None:
     """Coverage mark on the active collector (no-op when inactive)."""
     if _ACTIVE:
         _ACTIVE[-1].cover(cmdcl, cmd)
+
+
+def cover_state(flow: str, state: str, mark: str) -> None:
+    """Session-transition mark on the active collector (no-op when inactive)."""
+    if _ACTIVE:
+        _ACTIVE[-1].cover_state(flow, state, mark)
 
 
 # -- merging -------------------------------------------------------------------

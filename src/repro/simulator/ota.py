@@ -83,6 +83,8 @@ class OtaCapableSensor(VirtualSlave):
         self._incoming: Dict[int, bytes] = {}
         self._expected_checksum = 0
         self._expected_fragments = 0
+        self.resumes = 0  # mid-transfer re-offers of the same image
+        self.restarts = 0  # re-offers that discarded buffered fragments
 
     def report_payload(self) -> ApplicationPayload:
         return ApplicationPayload(0x30, 0x03, b"\x00")
@@ -95,21 +97,50 @@ class OtaCapableSensor(VirtualSlave):
             body = bytes([0x01, 0x02, self.firmware_version])
             self._send(frame.src, ApplicationPayload(0x7A, CMD_MD_REPORT, body))
         elif payload.cmd == CMD_REQUEST_GET and len(payload.params) >= 5:
-            self._expected_checksum = int.from_bytes(payload.params[2:4], "big")
-            self._expected_fragments = payload.params[4]
-            self._incoming.clear()
+            checksum = int.from_bytes(payload.params[2:4], "big")
+            fragments = payload.params[4]
+            # A re-offer of the image currently in flight *resumes* the
+            # transfer (buffered fragments stay, only the gaps are pulled
+            # again); any other offer aborts the old transfer and
+            # restarts from scratch.
+            resuming = (
+                self.update_status is None
+                and bool(self._incoming)
+                and checksum == self._expected_checksum
+                and fragments == self._expected_fragments
+            )
+            if resuming:
+                self.resumes += 1
+            else:
+                if self._incoming and self.update_status is None:
+                    self.restarts += 1
+                self._incoming.clear()
+            self._expected_checksum = checksum
+            self._expected_fragments = fragments
             self.update_status = None
             self._send(
                 frame.src,
                 ApplicationPayload(0x7A, CMD_REQUEST_REPORT, bytes([REQUEST_ACCEPTED])),
             )
-            # Pull every fragment in one request.
-            self._send(
-                frame.src,
-                ApplicationPayload(
-                    0x7A, CMD_UPDATE_GET, bytes([self._expected_fragments, 0x01])
-                ),
-            )
+            if resuming:
+                # Pull only the missing fragment numbers, one GET each
+                # (gaps need not be contiguous).
+                for number in range(1, self._expected_fragments + 1):
+                    if number not in self._incoming:
+                        self._send(
+                            frame.src,
+                            ApplicationPayload(
+                                0x7A, CMD_UPDATE_GET, bytes([0x01, number])
+                            ),
+                        )
+            else:
+                # Pull every fragment in one request.
+                self._send(
+                    frame.src,
+                    ApplicationPayload(
+                        0x7A, CMD_UPDATE_GET, bytes([self._expected_fragments, 0x01])
+                    ),
+                )
         elif payload.cmd == CMD_UPDATE_REPORT and len(payload.params) >= 1:
             number = payload.params[0] & ~LAST_FRAGMENT_FLAG
             self._incoming[number] = payload.params[1:]

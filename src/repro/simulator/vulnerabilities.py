@@ -437,3 +437,391 @@ DEVICE_MAC_QUIRKS: Dict[str, Tuple[str, ...]] = {
     "D6": (),
     "D7": (),
 }
+
+
+# ---------------------------------------------------------------------------
+# Session-level vulnerabilities (multi-frame state-machine bugs)
+# ---------------------------------------------------------------------------
+#
+# Where the Table III zero-days fire on a single application payload, the
+# planted session bugs below fire only on *sequences*: a controller that
+# keeps accepting frames after a flow reached a terminal state, commits a
+# multi-step exchange without its closing frame, or honours a downgraded
+# or replayed handshake step.  Each predicate sees the whole annotated
+# trace — every frame carries the flow-graph state the evaluator was in
+# *before* consuming it — and returns the sequence index at which the
+# lenient acceptance becomes an exploitable fact, or ``None``.
+#
+# The ground-truth contract (ISSUE 8 / the paper's Table VI analogue):
+# every predicate is reachable by a short directed mutation of the happy
+# path (``repro.core.session.directed_attack``), and none fires on any
+# unmutated happy-path trace.
+
+# S0 command class 0x98.
+_S0 = 0x98
+_S0_SCHEME_REPORT = 0x05
+_S0_NONCE_REPORT = 0x80
+_S0_MESSAGE_ENCAP = 0x81
+# S2 command class 0x9F.
+_S2 = 0x9F
+_S2_NONCE_REPORT = 0x02
+_S2_MESSAGE_ENCAP = 0x03
+_S2_KEX_REPORT = 0x05
+_S2_KEX_SET = 0x06
+_S2_PUBLIC_KEY_REPORT = 0x08
+# OTA command class 0x7A.
+_OTA = 0x7A
+_OTA_REQUEST_GET = 0x03
+_OTA_REQUEST_REPORT = 0x04
+_OTA_MD_FRAGMENT = 0x06
+_OTA_STATUS_REPORT = 0x07
+# Network-management class 0x01 (inclusion / exclusion / replication).
+_NM = 0x01
+_NM_NODE_INFO = 0x01
+_NM_PRESENTATION = 0x08
+_NM_TRANSFER_NODE = 0x09
+_NM_TRANSFER_END = 0x0B
+
+
+@dataclass(frozen=True)
+class SessionFrame:
+    """One frame of an annotated session trace, as the oracle sees it.
+
+    ``state`` is the flow-graph state the session evaluator was in
+    immediately *before* consuming this frame, so predicates can ask
+    "did the controller accept X while already in state Y?" without
+    re-deriving the walk.
+    """
+
+    state: str
+    sender: str  # "ctrl" or "dev"
+    cmdcl: int
+    cmd: int
+    params: bytes
+
+    def sig(self) -> Tuple[int, int]:
+        return (self.cmdcl, self.cmd)
+
+
+SessionTrace = Tuple[SessionFrame, ...]
+
+#: Returns the firing sequence index, or ``None`` when the trace is clean.
+SessionPredicate = Callable[[SessionTrace], Optional[int]]
+
+
+@dataclass(frozen=True)
+class SessionVulnerability:
+    """One planted multi-frame state-machine bug."""
+
+    vuln_id: str
+    flow: str
+    name: str
+    description: str
+    predicate: SessionPredicate
+
+    def fired_at(self, frames: SessionTrace) -> Optional[int]:
+        """Sequence index where the bug fires on *frames*, or ``None``."""
+        return self.predicate(frames)
+
+
+def _indices(frames: SessionTrace, cmdcl: int, cmd: int) -> List[int]:
+    return [i for i, f in enumerate(frames) if f.cmdcl == cmdcl and f.cmd == cmd]
+
+
+def _sv_s0_scheme_downgrade(frames: SessionTrace) -> Optional[int]:
+    """A non-zero SCHEME_REPORT (anything but scheme 0) must abort the S0
+    bootstrap; a key encapsulation after it means the downgrade was
+    accepted — the Crushing-the-Wave key-exchange bug."""
+    bad = next(
+        (
+            i
+            for i, f in enumerate(frames)
+            if f.cmdcl == _S0
+            and f.cmd == _S0_SCHEME_REPORT
+            and f.params != b"\x00"
+        ),
+        None,
+    )
+    if bad is None:
+        return None
+    for j in range(bad + 1, len(frames)):
+        if frames[j].cmdcl == _S0 and frames[j].cmd == _S0_MESSAGE_ENCAP:
+            return j
+    return None
+
+
+def _sv_s0_nonce_replay(frames: SessionTrace) -> Optional[int]:
+    """The same 8-byte S0 nonce offered twice with an encapsulation
+    consumed against each: the receiver failed to burn the nonce."""
+    seen: Dict[bytes, int] = {}
+    duplicated = False
+    for f in frames:
+        if f.cmdcl == _S0 and f.cmd == _S0_NONCE_REPORT:
+            seen[f.params] = seen.get(f.params, 0) + 1
+            if seen[f.params] >= 2:
+                duplicated = True
+    if not duplicated:
+        return None
+    encaps = _indices(frames, _S0, _S0_MESSAGE_ENCAP)
+    return encaps[1] if len(encaps) >= 2 else None
+
+
+def _sv_s0_rekey_after_verify(frames: SessionTrace) -> Optional[int]:
+    """A key-set encapsulation accepted after NETWORK_KEY_VERIFY closed
+    the exchange: the controller re-keys an already-secured session."""
+    for i, f in enumerate(frames):
+        if f.cmdcl == _S0 and f.cmd == _S0_MESSAGE_ENCAP and f.state == "done":
+            return i
+    return None
+
+
+def _sv_s2_grant_escalation(frames: SessionTrace) -> Optional[int]:
+    """KEX_SET granting key bits the device never requested, followed by
+    a completed key transfer: access-control escalation at bootstrap."""
+    requested: Optional[int] = None
+    escalated = False
+    for i, f in enumerate(frames):
+        if f.cmdcl != _S2:
+            continue
+        if f.cmd == _S2_KEX_REPORT and len(f.params) >= 4:
+            requested = f.params[3]
+        elif f.cmd == _S2_KEX_SET and len(f.params) >= 4:
+            if requested is not None and f.params[3] & ~requested & 0xFF:
+                escalated = True
+        elif f.cmd == _S2_MESSAGE_ENCAP and escalated:
+            return i
+    return None
+
+
+def _sv_s2_pubkey_swap(frames: SessionTrace) -> Optional[int]:
+    """A second, different device public key accepted after the ECDH
+    exchange already bound the first — the mid-inclusion MitM swap."""
+    first: Optional[bytes] = None
+    for i, f in enumerate(frames):
+        if (
+            f.cmdcl == _S2
+            and f.cmd == _S2_PUBLIC_KEY_REPORT
+            and f.sender == "dev"
+            and len(f.params) >= 2
+            and f.params[0] == 0x01
+        ):
+            if first is None:
+                first = f.params[1:]
+            elif f.params[1:] != first:
+                return i
+    return None
+
+
+def _sv_s2_entropy_reuse(frames: SessionTrace) -> Optional[int]:
+    """Identical SPAN entropy offered twice and an encapsulation still
+    decrypted after the repeat: nonce reuse under the same key."""
+    reports = _indices(frames, _S2, _S2_NONCE_REPORT)
+    second_dup: Optional[int] = None
+    for a in range(len(reports)):
+        for b in range(a + 1, len(reports)):
+            if frames[reports[a]].params == frames[reports[b]].params:
+                second_dup = reports[b]
+                break
+        if second_dup is not None:
+            break
+    if second_dup is None:
+        return None
+    for j in range(second_dup + 1, len(frames)):
+        if frames[j].cmdcl == _S2 and frames[j].cmd == _S2_MESSAGE_ENCAP:
+            return j
+    return None
+
+
+def _sv_incl_stale_nif(frames: SessionTrace) -> Optional[int]:
+    """A divergent node-information frame accepted after the node id was
+    already assigned: the controller trusts a stale (spoofed) NIF."""
+    first: Optional[bytes] = None
+    for i, f in enumerate(frames):
+        if f.cmdcl == _NM and f.cmd == _NM_NODE_INFO:
+            if first is None:
+                first = f.params
+            elif f.params != first and f.state in ("id_assigned", "done"):
+                return i
+    return None
+
+
+def _sv_excl_spoofed_removal(frames: SessionTrace) -> Optional[int]:
+    """TRANSFER_END confirming a removal that no exclusion-mode
+    presentation ever opened: a spoofed device-removal commit."""
+    presented = False
+    for i, f in enumerate(frames):
+        if (
+            f.cmdcl == _NM
+            and f.cmd == _NM_PRESENTATION
+            and len(f.params) >= 1
+            and f.params[0] == 0x02
+        ):
+            presented = True
+        elif (
+            f.cmdcl == _NM
+            and f.cmd == _NM_TRANSFER_END
+            and len(f.params) >= 1
+            and f.params[0] == 0x02  # removal operand, not an add/repl end
+            and not presented
+        ):
+            return i
+    return None
+
+
+def _sv_repl_ghost_commit(frames: SessionTrace) -> Optional[int]:
+    """Replicated node records retained although TRANSFER_END never
+    arrived: the secondary commits a half-transferred topology."""
+    records = _indices(frames, _NM, _NM_TRANSFER_NODE)
+    if not records:
+        return None
+    if _indices(frames, _NM, _NM_TRANSFER_END):
+        return None
+    return records[-1]
+
+
+def _sv_repl_seq_overwrite(frames: SessionTrace) -> Optional[int]:
+    """Two transfer records reusing one sequence number for different
+    node ids: the second silently overwrites the first."""
+    by_seq: Dict[int, int] = {}
+    for i, f in enumerate(frames):
+        if f.cmdcl == _NM and f.cmd == _NM_TRANSFER_NODE and len(f.params) >= 2:
+            seq, node = f.params[0], f.params[1]
+            if seq in by_seq and by_seq[seq] != node:
+                return i
+            by_seq.setdefault(seq, node)
+    return None
+
+
+def _sv_ota_resume_no_reauth(frames: SessionTrace) -> Optional[int]:
+    """A fresh firmware offer accepted mid-transfer and fragments still
+    flowing without a new REQUEST_REPORT authorisation."""
+    for i, f in enumerate(frames):
+        if (
+            f.cmdcl == _OTA
+            and f.cmd == _OTA_REQUEST_GET
+            and f.state in ("pulling", "transferring")
+        ):
+            for j in range(i + 1, len(frames)):
+                g = frames[j]
+                if g.cmdcl != _OTA:
+                    continue
+                if g.cmd == _OTA_REQUEST_REPORT:
+                    break  # re-authorised: this offer is clean
+                if g.cmd in (_OTA_MD_FRAGMENT, _OTA_STATUS_REPORT):
+                    return j
+    return None
+
+
+def _sv_ota_early_commit(frames: SessionTrace) -> Optional[int]:
+    """STATUS_REPORT OK with fewer fragments delivered than the offer
+    declared: the device activates a truncated image."""
+    declared: Optional[int] = None
+    fragments = 0
+    for i, f in enumerate(frames):
+        if f.cmdcl != _OTA:
+            continue
+        if f.cmd == _OTA_REQUEST_GET and len(f.params) >= 5:
+            declared = f.params[4]
+        elif f.cmd == _OTA_MD_FRAGMENT:
+            fragments += 1
+        elif (
+            f.cmd == _OTA_STATUS_REPORT
+            and len(f.params) >= 1
+            and f.params[0] == 0xFF
+            and declared is not None
+            and fragments < declared
+        ):
+            return i
+    return None
+
+
+#: The planted session-level bug database, in canonical vuln-id order.
+SESSION_VULNS: Tuple[SessionVulnerability, ...] = (
+    SessionVulnerability(
+        "SV01", "s0", "S0 scheme-downgrade acceptance",
+        "Key transfer completes after a non-zero security scheme offer.",
+        _sv_s0_scheme_downgrade,
+    ),
+    SessionVulnerability(
+        "SV02", "s0", "S0 nonce replay",
+        "A replayed external nonce is consumed by a second encapsulation.",
+        _sv_s0_nonce_replay,
+    ),
+    SessionVulnerability(
+        "SV03", "s0", "S0 re-key after verify",
+        "A key-set encapsulation is accepted after NETWORK_KEY_VERIFY.",
+        _sv_s0_rekey_after_verify,
+    ),
+    SessionVulnerability(
+        "SV04", "s2", "S2 key-grant escalation",
+        "KEX_SET grants key classes the device never requested.",
+        _sv_s2_grant_escalation,
+    ),
+    SessionVulnerability(
+        "SV05", "s2", "S2 public-key swap",
+        "A second, different device public key is accepted mid-bootstrap.",
+        _sv_s2_pubkey_swap,
+    ),
+    SessionVulnerability(
+        "SV06", "s2", "S2 SPAN entropy reuse",
+        "Identical SPAN entropy is honoured twice under one key.",
+        _sv_s2_entropy_reuse,
+    ),
+    SessionVulnerability(
+        "SV07", "inclusion", "Inclusion stale NIF",
+        "A divergent node-information frame is trusted after id assignment.",
+        _sv_incl_stale_nif,
+    ),
+    SessionVulnerability(
+        "SV08", "exclusion", "Exclusion spoofed removal",
+        "TRANSFER_END commits a removal no presentation ever opened.",
+        _sv_excl_spoofed_removal,
+    ),
+    SessionVulnerability(
+        "SV09", "replication", "Replication ghost commit",
+        "Node records persist although TRANSFER_END never arrived.",
+        _sv_repl_ghost_commit,
+    ),
+    SessionVulnerability(
+        "SV10", "replication", "Replication sequence overwrite",
+        "A reused sequence number overwrites an earlier node record.",
+        _sv_repl_seq_overwrite,
+    ),
+    SessionVulnerability(
+        "SV11", "ota", "OTA resume without re-auth",
+        "Fragments keep flowing after a mid-transfer offer, unauthorised.",
+        _sv_ota_resume_no_reauth,
+    ),
+    SessionVulnerability(
+        "SV12", "ota", "OTA early commit",
+        "STATUS OK activates an image with fragments missing.",
+        _sv_ota_early_commit,
+    ),
+)
+
+
+def session_vuln_by_id(vuln_id: str) -> SessionVulnerability:
+    """Return the planted session bug with the given id."""
+    for vuln in SESSION_VULNS:
+        if vuln.vuln_id == vuln_id:
+            return vuln
+    raise KeyError(f"no session vulnerability with id {vuln_id}")
+
+
+def session_vulns_for_flow(flow: str) -> Tuple[SessionVulnerability, ...]:
+    """The planted bugs scoped to one flow, in vuln-id order."""
+    return tuple(v for v in SESSION_VULNS if v.flow == flow)
+
+
+def match_session_vulns(
+    flow: str, frames: SessionTrace
+) -> List[Tuple[SessionVulnerability, int]]:
+    """Every planted bug of *flow* that fires on *frames*, with its firing
+    sequence index, ordered by (index, vuln_id)."""
+    hits = []
+    for vuln in session_vulns_for_flow(flow):
+        fired = vuln.fired_at(frames)
+        if fired is not None:
+            hits.append((vuln, fired))
+    hits.sort(key=lambda pair: (pair[1], pair[0].vuln_id))
+    return hits

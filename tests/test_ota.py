@@ -114,3 +114,111 @@ class TestOtaFlow:
         sender.start(SENSOR_ID)
         sut.clock.advance(5.0)
         assert sensor.firmware_version == 3
+
+
+class TestResumeAndAbort:
+    """Mid-transfer re-offers: same image resumes from the buffered
+    fragments, a different image aborts and restarts from scratch."""
+
+    def _offer_body(self, image):
+        return bytes([0x00, 0x01]) + image.checksum.to_bytes(2, "big") + bytes(
+            [image.fragment_count]
+        )
+
+    def _partial_transfer(self, sut, image, send_numbers):
+        """Offer *image* with no sender attached, then hand-deliver just
+        the fragments in *send_numbers* — leaving the device mid-transfer."""
+        from repro.simulator.ota import CMD_REQUEST_GET, CMD_UPDATE_REPORT, LAST_FRAGMENT_FLAG
+        from repro.zwave.application import ApplicationPayload
+
+        sut.controller.send_command(
+            SENSOR_ID, ApplicationPayload(0x7A, CMD_REQUEST_GET, self._offer_body(image))
+        )
+        sut.clock.advance(1.0)
+        for number in send_numbers:
+            flags = number
+            if number == image.fragment_count:
+                flags |= LAST_FRAGMENT_FLAG
+            sut.controller.send_command(
+                SENSOR_ID,
+                ApplicationPayload(
+                    0x7A, CMD_UPDATE_REPORT, bytes([flags]) + image.fragment(number)
+                ),
+            )
+        sut.clock.advance(1.0)
+
+    @pytest.fixture
+    def bare(self):
+        """The OTA fixture without a FirmwareSender listening yet."""
+        sut = build_sut("D1", seed=41, traffic=False)
+        sensor = OtaCapableSensor(
+            "ota-sensor",
+            sut.profile.home_id,
+            SENSOR_ID,
+            sut.clock,
+            sut.medium,
+            position=(4.0, 2.0),
+            firmware_version=1,
+        )
+        from repro.simulator.memory import NodeRecord
+
+        sut.controller.nvm.add(NodeRecord(node_id=SENSOR_ID, generic=0x20, name="ota"))
+        return sut, sensor
+
+    def test_same_image_reoffer_resumes_and_pulls_only_gaps(self, bare):
+        sut, sensor = bare
+        image = FirmwareImage(version=2, data=bytes(range(100)))  # 5 fragments
+        self._partial_transfer(sut, image, send_numbers=(1, 3, 5))
+        assert sensor.update_status is None  # still mid-transfer
+
+        sender = FirmwareSender(sut.controller, image)
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert sensor.resumes == 1
+        assert sensor.restarts == 0
+        # Only the two missing fragments (2 and 4) crossed the air.
+        assert sender.fragments_sent == 2
+        assert sensor.update_status == STATUS_OK
+        assert sensor.firmware_version == 2
+
+    def test_different_image_reoffer_aborts_and_restarts(self, bare):
+        sut, sensor = bare
+        old = FirmwareImage(version=2, data=bytes(range(100)))
+        new = FirmwareImage(version=2, data=bytes(reversed(range(100))))
+        self._partial_transfer(sut, old, send_numbers=(1, 2))
+
+        sender = FirmwareSender(sut.controller, new)
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert sensor.restarts == 1
+        assert sensor.resumes == 0
+        # The stale fragments were discarded: every new fragment re-pulled.
+        assert sender.fragments_sent == new.fragment_count
+        assert sensor.update_status == STATUS_OK
+        assert sensor.firmware_version == 2
+
+    def test_resumed_blob_passes_the_checksum(self, bare):
+        """The resumed reassembly stitches old and new fragments into the
+        exact image — the CRC would catch any mixed-offer corruption."""
+        sut, sensor = bare
+        image = FirmwareImage(version=2, data=bytes(range(256)) * 2)  # 26 fragments
+        self._partial_transfer(sut, image, send_numbers=range(1, 14))
+
+        sender = FirmwareSender(sut.controller, image)
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert sensor.resumes == 1
+        assert sender.fragments_sent == image.fragment_count - 13
+        assert sensor.update_status == STATUS_OK
+
+    def test_completed_transfer_reoffer_is_neither(self, setting):
+        """Re-offering after success starts a clean second cycle: nothing
+        to resume, nothing buffered to abort."""
+        sut, sensor, sender, image = setting
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        sender.start(SENSOR_ID)
+        sut.clock.advance(5.0)
+        assert sensor.firmware_version == 3
+        assert sensor.resumes == 0
+        assert sensor.restarts == 0

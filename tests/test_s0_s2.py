@@ -223,3 +223,54 @@ class TestS2Bootstrap:
         key = generate_network_key(random.Random(4))
         assert len(key) == 16
         assert key != generate_network_key(random.Random(5))
+
+
+class TestSpanDesyncRecovery:
+    """How the S2 SPAN machinery behaves *around* a desynchronisation —
+    the session fuzzer's SV06 (nonce-entropy reuse) rests on these
+    semantics staying exact."""
+
+    HOME = 0xE7DE3F3D
+
+    def test_failed_window_search_does_not_advance_the_span(self):
+        # A forged frame that verifies nowhere in the window must leave
+        # the receiver state untouched: the next genuine frame decodes.
+        a, b = span_pair()
+        genuine = a.encapsulate(b"genuine", 1, 2, 1, self.HOME)
+        with pytest.raises(NonceError):
+            b.decapsulate(S2Encapsulated(0, 0, b"\x00" * 12), 2, 2, 1, self.HOME)
+        assert b.decapsulate(genuine, 2, 2, 1, self.HOME) == b"genuine"
+
+    def test_fresh_entropy_exchange_recovers_from_desync(self):
+        a, b = span_pair()
+        for _ in range(S2Context.SPAN_WINDOW + 1):
+            a.encapsulate(b"lost", 1, 2, 1, self.HOME)
+        with pytest.raises(NonceError):
+            b.decapsulate(
+                a.encapsulate(b"late", 1, 2, 1, self.HOME), 2, 2, 1, self.HOME
+            )
+        # The spec's resynchronisation path: a fresh nonce-report exchange
+        # instantiates new SPANs and traffic flows again.
+        ea = a.generate_entropy(1)
+        eb = b.generate_entropy(2)
+        a.establish_span(1, ea, eb, inbound=False)
+        b.establish_span(2, ea, eb, inbound=True)
+        encap = a.encapsulate(b"resynced", 1, 2, 1, self.HOME)
+        assert b.decapsulate(encap, 2, 2, 1, self.HOME) == b"resynced"
+
+    def test_reset_spans_forces_a_full_handshake(self):
+        a, b = span_pair()
+        stale = a.encapsulate(b"stale", 1, 2, 1, self.HOME)
+        b.reset_spans()
+        assert not b.has_span(2, inbound=True)
+        assert b.pending_entropy(2) is None
+        with pytest.raises(NonceError):
+            b.decapsulate(stale, 2, 2, 1, self.HOME)
+
+    def test_recovery_spans_do_not_reuse_old_entropy(self):
+        # generate_entropy after a desync must draw *new* randomness —
+        # reusing the handshake entropy is exactly planted bug SV06.
+        a = S2Context(KEY, node_id=2, rng=random.Random(11))
+        first = a.generate_entropy(1)
+        second = a.generate_entropy(1)
+        assert first != second
