@@ -704,6 +704,94 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived campaign job service until SIGTERM/SIGINT.
+
+    Clients submit wire-v6 job specs over HTTP (``zcover submit``); the
+    service shards each job across a persistent worker pool and serves
+    canonical result documents byte-identical to in-process runs.  With
+    ``--checkpoint``, completed units are written ahead to disk and a
+    restarted service resumes unfinished jobs mid-trial-set.
+    """
+    from .serve.service import serve_forever
+
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        workers=_resolve_workers_arg(args),
+        checkpoint_path=args.checkpoint,
+        retries=args.retries,
+    )
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a job spec to a running service (or run the oracle).
+
+    ``--direct`` skips the service entirely and runs the same spec
+    in-process, serially, emitting the oracle document — the bytes a
+    service result must equal.  The CI smoke job diffs the two.
+    """
+    from .serve.protocol import JobSpec, SpecError, validate_spec
+
+    flows: tuple = ()
+    if args.flows:
+        flows = tuple(f.strip() for f in args.flows.split(",") if f.strip())
+    spec = JobSpec(
+        kind=args.kind,
+        device=args.device,
+        mode=args.mode,
+        seed=args.seed,
+        trials=args.trials,
+        hours=args.hours,
+        scheduler=args.scheduler,
+        fault_plan=args.fault_plan,
+        flows=flows,
+    )
+    try:
+        validate_spec(spec)
+    except SpecError as exc:
+        print(f"submit: invalid spec: {exc}", file=sys.stderr)
+        return 2
+    if args.direct:
+        from .serve.results import direct_document, dumps_result_document
+
+        text = dumps_result_document(direct_document(spec))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"oracle document written to {args.out}")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    from .serve.client import ServeClient, ServeClientError
+    from .serve.protocol import JOB_DONE
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        status = client.submit(spec)
+        print(f"job {status.job_id}: {status.state} (sequence {status.sequence})")
+        if not (args.wait or args.out):
+            return 0
+        final = client.wait(status.job_id, timeout=args.timeout)
+        if final.state != JOB_DONE:
+            print(f"submit: job {final.job_id} {final.state}: {final.error}",
+                  file=sys.stderr)
+            return 1
+        payload = client.result_bytes(final.job_id)
+    except ServeClientError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(payload)
+        print(f"result document written to {args.out}")
+    else:
+        sys.stdout.buffer.write(payload)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
@@ -922,6 +1010,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 2) if the purity manifest drifted from PATH",
     )
     lint.set_defaults(func=cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived campaign job service (HTTP/JSON)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8377, help="bind port (0 = ephemeral)"
+    )
+    _add_workers(serve)
+    serve.add_argument(
+        "--checkpoint",
+        help="write-ahead checkpoint file: completed units are logged here "
+        "and a restarted service resumes unfinished jobs mid-trial-set",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing campaign unit (default 1)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running service (or --direct oracle)"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="service address")
+    submit.add_argument("--port", type=int, default=8377, help="service port")
+    submit.add_argument(
+        "--kind",
+        choices=("trials", "sessions", "chaos"),
+        default="trials",
+        help="job kind (default trials)",
+    )
+    _add_common(submit)
+    submit.add_argument("--mode", choices=tuple(_MODES), default="full")
+    submit.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trial count (kind-specific stock default when omitted)",
+    )
+    submit.add_argument(
+        "--hours", type=float, default=1.0, help="simulated hours per campaign"
+    )
+    _add_scheduler(submit)
+    submit.add_argument(
+        "--fault-plan",
+        help="stock fault plan name (canonical, lossy, flaky); required for "
+        "chaos jobs, optional for trials",
+    )
+    submit.add_argument(
+        "--flows", help="comma-separated session flows (sessions jobs only)"
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job is terminal"
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="wall-clock deadline for --wait/--out polling (seconds)",
+    )
+    submit.add_argument(
+        "--out", help="write the result document here (implies --wait)"
+    )
+    submit.add_argument(
+        "--direct",
+        action="store_true",
+        help="run the spec in-process serially and emit the oracle document "
+        "(no service involved) — the bytes a service result must equal",
+    )
+    submit.set_defaults(func=cmd_submit)
 
     return parser
 

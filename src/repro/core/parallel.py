@@ -40,7 +40,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import Future, ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -54,6 +54,26 @@ from .campaign import Mode, run_campaign
 FAILURE_EXCEPTION = "exception"
 FAILURE_CRASH = "worker-crash"
 FAILURE_TIMEOUT = "timeout"
+
+
+class ExecutionInterrupted(BaseException):
+    """A graceful drain finished: in-flight units were flushed first.
+
+    Raised instead of letting a raw ``KeyboardInterrupt`` (Ctrl-C, or the
+    SIGTERM handler the job service installs) tear the executor mid-unit.
+    ``outcomes`` carries **every** unit's :class:`UnitOutcome` in
+    canonical order — completed units hold their results, undone units
+    hold neither result nor failure — so callers (the service checkpoint
+    above all) can persist the completed prefix before exiting.
+
+    Derives from ``BaseException`` like the interrupt it replaces, so
+    generic ``except Exception`` recovery paths cannot swallow it.
+    """
+
+    def __init__(self, outcomes: "List[UnitOutcome]"):
+        done = sum(1 for o in outcomes if o.result is not None)
+        super().__init__(f"interrupted after {done} completed unit(s)")
+        self.outcomes = outcomes
 
 
 @dataclass(frozen=True)
@@ -257,9 +277,9 @@ def _run_serial(
     backoff: Optional[BackoffPolicy] = None,
 ) -> List[UnitOutcome]:
     delays = _retry_delays(backoff, retries)
-    outcomes = []
-    for unit in units:
-        outcome = UnitOutcome(unit=unit)
+    outcomes = [UnitOutcome(unit=unit) for unit in units]
+    for outcome in outcomes:
+        unit = outcome.unit
         for attempt in range(1, retries + 2):
             outcome.attempts = attempt
             if attempt > 1 and delays[attempt - 2] > 0.0:
@@ -268,6 +288,11 @@ def _run_serial(
                 outcome.result = execute_unit(unit)
                 outcome.failure = None
                 break
+            except KeyboardInterrupt:
+                # Graceful drain, serial flavour: the interrupt landed
+                # inside the current unit, which is lost by definition —
+                # flush the completed prefix so the caller can persist it.
+                raise ExecutionInterrupted(outcomes) from None
             except Exception:
                 outcome.failure = UnitFailure(
                     unit=unit,
@@ -275,8 +300,36 @@ def _run_serial(
                     error=traceback.format_exc(),
                     attempts=attempt,
                 )
-        outcomes.append(outcome)
     return outcomes
+
+
+def _drain_round(
+    pool: ProcessPoolExecutor,
+    pending: Dict[int, UnitOutcome],
+    futures: Dict[int, Any],
+) -> None:
+    """Graceful drain: let in-flight units finish, harvest their results.
+
+    Called when an interrupt lands mid-round.  Queued-but-unstarted
+    futures are cancelled; futures already executing run to completion
+    (``shutdown(wait=True)`` blocks on them), and every finished result
+    is flushed into its outcome so the caller's checkpoint sees each
+    completed unit exactly once — never a torn one.
+    """
+    for future in futures.values():
+        future.cancel()
+    pool.shutdown(wait=True, cancel_futures=True)
+    for index, future in futures.items():
+        if index not in pending or not future.done() or future.cancelled():
+            continue
+        try:
+            wire = future.result(timeout=0)
+        except BaseException:
+            continue  # the unit failed while draining; retry accounting keeps it
+        outcome = pending[index]
+        outcome.result = _rehydrate(outcome.unit, wire)
+        outcome.failure = None
+        del pending[index]
 
 
 def _collect_round(
@@ -288,15 +341,16 @@ def _collect_round(
 
     Mutates the outcomes in place; entries that got a result are removed
     from *pending*.  A broken pool fails every still-unresolved future for
-    this round (they all keep their retry budget).
+    this round (they all keep their retry budget).  A ``KeyboardInterrupt``
+    during the harvest triggers the graceful drain (in-flight units finish
+    and flush) before the interrupt propagates.
     """
-    futures = {
-        index: pool.submit(execute_unit_to_wire, outcome.unit)
-        for index, outcome in pending.items()
-    }
+    futures = {}
+    for index, outcome in pending.items():
+        outcome.attempts += 1
+        futures[index] = pool.submit(execute_unit_to_wire, outcome.unit)
     for index, future in futures.items():
         outcome = pending[index]
-        outcome.attempts += 1
         try:
             wire = future.result(timeout=timeout)
         except FutureTimeout:
@@ -308,6 +362,9 @@ def _collect_round(
                 attempts=outcome.attempts,
             )
             continue
+        except KeyboardInterrupt:
+            _drain_round(pool, pending, futures)
+            raise
         except BaseException as exc:  # worker raise, pool breakage, cancel
             crashed = type(exc).__name__ in ("BrokenProcessPool", "BrokenExecutor")
             outcome.failure = UnitFailure(
@@ -330,6 +387,7 @@ def execute_units(
     timeout: Optional[float] = None,
     retries: int = 1,
     backoff: Optional[BackoffPolicy] = None,
+    pool: "Optional[WorkerPool]" = None,
 ) -> List[UnitOutcome]:
     """Run *units*, sharded over *workers* processes, in canonical order.
 
@@ -344,25 +402,62 @@ def execute_units(
     *backoff* spaces the retry rounds with seeded-jitter delays (see
     :mod:`repro.faults.resilience`) instead of immediate resubmission;
     the delay sequence is pure in the policy, never in wall clock.
+
+    With *pool* (a :class:`WorkerPool`) the first round runs on that
+    persistent executor instead of a freshly spawned one, and the pool is
+    left running afterwards — the job service keeps one pool across every
+    job it executes.  Retry rounds still isolate each surviving unit in
+    its own single-worker pool, so a persistently crashing shard can
+    never break the shared pool for its neighbours.
+
+    A ``KeyboardInterrupt`` (Ctrl-C, or SIGTERM routed through a handler)
+    no longer tears the round down mid-unit: in-flight units finish,
+    their results are flushed, and :class:`ExecutionInterrupted` carries
+    every outcome so callers can persist the completed prefix.
     """
+    if pool is not None and pool.executor is not None:
+        outcomes = [UnitOutcome(unit=unit) for unit in units]
+        pending: Dict[int, UnitOutcome] = dict(enumerate(outcomes))
+        try:
+            _collect_round(pool.executor, pending, timeout)
+        except KeyboardInterrupt:
+            raise ExecutionInterrupted(outcomes) from None
+        _retry_in_isolation(pending, timeout, retries, backoff)
+        return outcomes
+
     if workers <= 1 or len(units) <= 1 or not parallel_supported():
         return _run_serial(units, retries, backoff)
 
     outcomes = [UnitOutcome(unit=unit) for unit in units]
-    pending: Dict[int, UnitOutcome] = dict(enumerate(outcomes))
+    pending = dict(enumerate(outcomes))
     pool_size = min(resolve_workers(workers), len(units))
 
     try:
-        pool = ProcessPoolExecutor(max_workers=pool_size)
+        round_pool = ProcessPoolExecutor(max_workers=pool_size)
     except (OSError, ImportError, NotImplementedError):
         return _run_serial(units, retries, backoff)
     try:
-        _collect_round(pool, pending, timeout)
+        _collect_round(round_pool, pending, timeout)
+    except KeyboardInterrupt:
+        raise ExecutionInterrupted(outcomes) from None
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        round_pool.shutdown(wait=False, cancel_futures=True)
 
-    # Retry rounds: each surviving unit runs in its own fresh single-worker
-    # pool so a persistently crashing shard is isolated from the others.
+    _retry_in_isolation(pending, timeout, retries, backoff)
+    return outcomes
+
+
+def _retry_in_isolation(
+    pending: Dict[int, UnitOutcome],
+    timeout: Optional[float],
+    retries: int,
+    backoff: Optional[BackoffPolicy],
+) -> None:
+    """Retry rounds: each surviving unit in its own single-worker pool.
+
+    Isolation means one persistently crashing unit cannot take healthy
+    retries (or a caller's persistent pool) down with it.
+    """
     delays = _retry_delays(backoff, retries)
     for round_index in range(retries):
         if not pending:
@@ -375,6 +470,60 @@ def execute_units(
                 _collect_round(retry_pool, {index: pending[index]}, timeout)
             finally:
                 retry_pool.shutdown(wait=False, cancel_futures=True)
-            if pending[index].result is not None:
+            if index in pending and pending[index].result is not None:
                 del pending[index]
-    return outcomes
+
+
+class WorkerPool:
+    """A persistent process pool the job service reuses across jobs.
+
+    ``execute_units`` historically spawned (and tore down) one
+    ``ProcessPoolExecutor`` per batch; a long-lived service would pay
+    that interpreter-spawn cost on every submitted job.  A ``WorkerPool``
+    owns the executor for the whole service lifetime: pass it to
+    :func:`execute_units` (``pool=``) or submit single units with
+    :meth:`submit` (the asyncio service awaits those futures directly).
+
+    On platforms without multiprocessing support ``executor`` is ``None``
+    and callers fall back to in-process execution — the same degradation
+    :func:`execute_units` applies.  Unlike the batch path, a pool is
+    spawned even for ``workers=1``: a service wants submission to return
+    immediately (the single worker process runs the unit) rather than
+    execute inline and block its event loop.
+    """
+
+    def __init__(self, workers: int = 1):
+        self.workers = resolve_workers(workers)
+        self.executor: Optional[ProcessPoolExecutor] = None
+        if parallel_supported():
+            try:
+                self.executor = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ImportError, NotImplementedError):
+                self.executor = None
+
+    def submit(self, unit: CampaignUnit):
+        """Submit one unit; returns a future resolving to its wire form.
+
+        Falls back to synchronous in-process execution (an already-
+        resolved future) when the platform has no process pool.
+        """
+        if self.executor is None:
+            future: Future = Future()
+            try:
+                future.set_result(execute_unit_to_wire(unit))
+            except BaseException as exc:  # surfaced at result() like a pool would
+                future.set_exception(exc)
+            return future
+        return self.executor.submit(execute_unit_to_wire, unit)
+
+    def drain(self, wait: bool = True) -> None:
+        """Shut the executor down; ``wait=True`` lets in-flight units finish."""
+        if self.executor is not None:
+            self.executor.shutdown(wait=wait, cancel_futures=True)
+            self.executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain(wait=exc_type is None)

@@ -26,6 +26,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from ..faults.plan import DegradationRecord
 from ..obs.metrics import MetricsSnapshot, SpanStats
+from ..serve.protocol import JobSpec, JobStatus
 from .baseline import VFuzzResult
 from .buglog import BugLog, BugRecord
 from .campaign import CampaignResult, Mode
@@ -41,12 +42,53 @@ from .tester import Signature, VerifiedFinding, VerifiedUnique
 #: ``degradation`` record (repro.faults graceful degradation); v4 the
 #: ``scheduler`` knob and ``scheduler_trace`` decision log
 #: (repro.core.scheduler); v5 the session-fuzzer payloads
-#: (``SessionResult``/``SessionBugRecord``, repro.core.session).
-WIRE_VERSION = 5
+#: (``SessionResult``/``SessionBugRecord``, repro.core.session); v6 the
+#: job-service codecs (``JobSpec``/``JobStatus``, repro.serve).
+WIRE_VERSION = 6
 
 
 class WireError(ValueError):
     """A wire payload does not match the expected layout or version."""
+
+
+class WireVersionError(WireError):
+    """A wire payload's version does not match this build's codec.
+
+    Every decoder rejects mismatches *structurally* — ``found`` /
+    ``expected`` / ``context`` — and distinguishes a payload from a
+    **newer** build (a client ahead of the service, or vice versa) from a
+    stale one, so operators can tell "upgrade me" from "re-run that".
+    Before this check was centralised, a decoder comparing only equality
+    produced the same opaque message for both directions, and any decoder
+    that forgot the check would happily misparse a future layout.
+    """
+
+    def __init__(self, found: object, expected: int, context: str):
+        self.found = found
+        self.expected = expected
+        self.context = context
+        if isinstance(found, int) and found > expected:
+            detail = (
+                f"payload is from a NEWER wire format (v{found} > v{expected}): "
+                "upgrade this build before decoding it"
+            )
+        elif found is None:
+            detail = f"payload carries no wire_version (expected v{expected})"
+        else:
+            detail = f"stale wire version {found!r} != expected v{expected}"
+        super().__init__(f"{context}: {detail}")
+
+
+def require_wire_version(data: dict, context: str) -> None:
+    """Reject any payload whose ``wire_version`` is not exactly ours.
+
+    Shared by every ``*_from_wire`` decoder: unknown *future* versions
+    fail just as loudly as stale ones (an old service must never misparse
+    a new client's documents, nor the reverse).
+    """
+    found = data.get("wire_version")
+    if found != WIRE_VERSION:
+        raise WireVersionError(found, WIRE_VERSION, context)
 
 
 # -- controller properties -----------------------------------------------------
@@ -227,10 +269,7 @@ def campaign_to_wire(result: CampaignResult) -> dict:
 
 def campaign_from_wire(data: dict) -> CampaignResult:
     """Rebuild the full campaign result from its wire form."""
-    if data.get("wire_version") != WIRE_VERSION:
-        raise WireError(
-            f"wire version {data.get('wire_version')!r} != expected {WIRE_VERSION}"
-        )
+    require_wire_version(data, "campaign result")
     degradation = data.get("degradation")
     return CampaignResult(
         device=data["device"],
@@ -272,10 +311,7 @@ def vfuzz_to_wire(result: VFuzzResult) -> dict:
 
 def vfuzz_from_wire(data: dict) -> VFuzzResult:
     """Rebuild a :class:`VFuzzResult`, rejecting mismatched versions."""
-    if data.get("wire_version") != WIRE_VERSION:
-        raise WireError(
-            f"wire version {data.get('wire_version')!r} != expected {WIRE_VERSION}"
-        )
+    require_wire_version(data, "vfuzz result")
     return VFuzzResult(
         packets_sent=data["packets_sent"],
         duration=data["duration"],
@@ -330,10 +366,7 @@ def session_to_wire(result: SessionResult) -> dict:
 
 def session_from_wire(data: dict) -> SessionResult:
     """Rebuild a :class:`SessionResult`, rejecting mismatched versions."""
-    if data.get("wire_version") != WIRE_VERSION:
-        raise WireError(
-            f"wire version {data.get('wire_version')!r} != expected {WIRE_VERSION}"
-        )
+    require_wire_version(data, "session result")
     return SessionResult(
         device=data["device"],
         seed=data["seed"],
@@ -348,6 +381,80 @@ def session_from_wire(data: dict) -> SessionResult:
             (flow, trials, reason) for flow, trials, reason in data["energy_trace"]
         ),
         metrics=snapshot_from_wire(data.get("metrics")),
+    )
+
+
+# -- job-service specs and statuses (repro.serve) ------------------------------
+
+
+def jobspec_to_wire(spec: JobSpec) -> dict:
+    """Reduce a job-service :class:`JobSpec` to plain data (wire v6)."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": spec.kind,
+        "device": spec.device,
+        "mode": spec.mode,
+        "seed": spec.seed,
+        "trials": spec.trials,
+        "hours": spec.hours,
+        "scheduler": spec.scheduler,
+        "fault_plan": spec.fault_plan,
+        "flows": list(spec.flows),
+    }
+
+
+def jobspec_from_wire(data: dict) -> JobSpec:
+    """Rebuild a :class:`JobSpec`, rejecting mismatched wire versions.
+
+    Layout validation beyond the version check is the caller's job
+    (:func:`repro.serve.protocol.validate_spec`) — this codec only
+    guarantees both sides agree on the wire format itself.
+    """
+    require_wire_version(data, "job spec")
+    return JobSpec(
+        kind=data["kind"],
+        device=data["device"],
+        mode=data["mode"],
+        seed=data["seed"],
+        trials=data["trials"],
+        hours=data["hours"],
+        scheduler=data["scheduler"],
+        fault_plan=data["fault_plan"],
+        flows=tuple(data["flows"]),
+    )
+
+
+def jobstatus_to_wire(status: JobStatus) -> dict:
+    """Reduce a job-service :class:`JobStatus` to plain data (wire v6)."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "job_id": status.job_id,
+        "state": status.state,
+        "kind": status.kind,
+        "device": status.device,
+        "seed": status.seed,
+        "sequence": status.sequence,
+        "units_total": status.units_total,
+        "units_done": status.units_done,
+        "error": status.error,
+        "counters": {k: status.counters[k] for k in sorted(status.counters)},
+    }
+
+
+def jobstatus_from_wire(data: dict) -> JobStatus:
+    """Rebuild a :class:`JobStatus`, rejecting mismatched wire versions."""
+    require_wire_version(data, "job status")
+    return JobStatus(
+        job_id=data["job_id"],
+        state=data["state"],
+        kind=data["kind"],
+        device=data["device"],
+        seed=data["seed"],
+        sequence=data["sequence"],
+        units_total=data["units_total"],
+        units_done=data["units_done"],
+        error=data["error"],
+        counters=dict(data["counters"]),
     )
 
 

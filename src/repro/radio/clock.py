@@ -42,6 +42,18 @@ def wall_perf_counter_ns() -> int:
     return time.perf_counter_ns()
 
 
+def wall_sleep(seconds: float) -> None:
+    """Block the calling thread for *seconds* of real time.
+
+    The job-service client (:mod:`repro.serve.client`) polls job status
+    with this between requests.  ``time.sleep`` is not itself a D101
+    violation (it produces no value that could leak into output), but
+    routing it through the clock owner keeps every wall-time touchpoint
+    in one audited module and lets tests monkeypatch the delay away.
+    """
+    time.sleep(seconds)
+
+
 class SimClock:
     """A monotonically advancing simulated clock with an event queue."""
 

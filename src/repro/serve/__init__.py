@@ -1,0 +1,55 @@
+"""`zcover serve`: campaign execution as a long-lived job service.
+
+The paper's campaigns are batch scripts; this package turns them into
+*requests*.  A client POSTs a :class:`~repro.serve.protocol.JobSpec`
+(device, mode, scheduler, seed, fault plan, flow set) to an asyncio
+HTTP/JSON service (:mod:`repro.serve.service`), which validates it,
+queues it, and shards its :class:`~repro.core.parallel.CampaignUnit`s
+across a persistent :class:`~repro.core.parallel.WorkerPool`.  Results
+ride the :mod:`repro.core.resultio` wire format, and the canonical
+result document a client downloads is **byte-identical** to running the
+same spec in-process (:mod:`repro.serve.results`) — including after a
+mid-job kill, thanks to the CRC-keyed write-ahead checkpoint
+(:mod:`repro.serve.checkpoint`).
+
+Module map — only :mod:`~repro.serve.protocol` is imported eagerly
+(``repro.core.resultio`` pulls the spec/status dataclasses from it, so
+this ``__init__`` must stay free of resultio-importing submodules):
+
+* ``protocol`` — :class:`JobSpec`/:class:`JobStatus`, validation, the
+  job state machine, content-addressed job ids;
+* ``results`` — unit building and the canonical result documents (the
+  byte-identity contract);
+* ``jobs`` — the thread-safe FIFO job queue and per-job records;
+* ``checkpoint`` — the write-ahead completed-units log;
+* ``service`` — the asyncio HTTP server and job runner;
+* ``client`` — the stdlib HTTP client behind ``zcover submit``.
+"""
+
+from .protocol import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_KINDS,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_STATES,
+    JobSpec,
+    JobStatus,
+    SpecError,
+    job_id_for,
+    validate_spec,
+)
+
+__all__ = [
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_KINDS",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_STATES",
+    "JobSpec",
+    "JobStatus",
+    "SpecError",
+    "job_id_for",
+    "validate_spec",
+]

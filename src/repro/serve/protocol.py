@@ -1,0 +1,201 @@
+"""Job-service protocol: specs, statuses and the job state machine.
+
+A *job* is a campaign the service runs on a client's behalf: repeated
+fuzzing trials (``kind="trials"``), a stateful session campaign
+(``kind="sessions"``) or a fault-injection resilience audit
+(``kind="chaos"``).  The :class:`JobSpec` here is the entire request — a
+handful of plain scalars naming a deterministic computation — which is
+what makes the service's correctness contract so strong: the result a
+client receives must be **byte-identical** to running the same spec
+in-process (see :mod:`repro.serve.results`).
+
+This module is deliberately free of any :mod:`repro.core.resultio`
+import: the wire codecs for :class:`JobSpec`/:class:`JobStatus` live in
+``resultio`` itself (wire v6), which imports these classes at module
+level so the W3xx wire-safety lint proves their fields JSON-clean.
+
+Job identity is content-addressed: :func:`job_id_for` hashes the
+canonical spec serialisation, so submitting the same spec twice is
+idempotent — the second submission joins the first job instead of
+re-running it.
+
+State machine::
+
+    queued ──▶ running ──▶ done
+                   └─────▶ failed
+
+A killed service re-enqueues unfinished jobs from its checkpoint on
+restart (``running`` collapses back to ``queued``); ``done`` and
+``failed`` are terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import CampaignError
+
+#: Job lifecycle states, in nominal order.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+JOB_STATES: Tuple[str, ...] = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+
+#: Legal state-machine transitions (resume re-queues a running job).
+VALID_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    JOB_QUEUED: (JOB_RUNNING,),
+    JOB_RUNNING: (JOB_DONE, JOB_FAILED, JOB_QUEUED),
+    JOB_DONE: (),
+    JOB_FAILED: (),
+}
+
+#: The job kinds the service executes.
+JOB_KINDS: Tuple[str, ...] = ("trials", "sessions", "chaos")
+
+#: Stock fault-plan names accepted over the wire (no file paths: a spec
+#: must be self-contained, never a pointer into the server's filesystem).
+STOCK_FAULT_PLANS: Tuple[str, ...] = ("canonical", "lossy", "flaky")
+
+_MODES: Tuple[str, ...] = ("full", "beta", "gamma")
+_SCHEDULERS: Tuple[str, ...] = ("static", "coverage")
+
+
+class SpecError(CampaignError):
+    """A job spec failed validation; ``field`` names the offending entry."""
+
+    def __init__(self, field_name: str, message: str):
+        super().__init__(f"{field_name}: {message}")
+        self.field = field_name
+        self.reason = message
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything the service needs to run one job, as plain scalars.
+
+    ``trials`` is kind-specific: the trial count for ``trials``/``chaos``
+    jobs, the per-flow trial override for ``sessions`` jobs (``None``
+    keeps each kind's stock default).  ``hours`` are *simulated* hours,
+    exactly like the CLI.  ``flows`` applies to session jobs only; empty
+    means every flow in canonical order.
+    """
+
+    kind: str = "trials"
+    device: str = "D1"
+    mode: str = "full"
+    seed: int = 0
+    trials: Optional[int] = None
+    hours: float = 1.0
+    scheduler: str = "static"
+    fault_plan: Optional[str] = None
+    flows: Tuple[str, ...] = field(default_factory=tuple)
+
+    def resolved_trials(self) -> Optional[int]:
+        """The effective trial count (kind-specific stock default)."""
+        if self.trials is not None:
+            return self.trials
+        if self.kind == "trials":
+            return 5
+        if self.kind == "chaos":
+            return 2
+        return None  # sessions: the stock SessionPlan budget applies
+
+
+def validate_spec(spec: JobSpec) -> None:
+    """Reject malformed specs with a structured, field-naming error."""
+    from ..core.session import FLOWS
+    from ..simulator.testbed import CONTROLLER_IDS
+
+    if spec.kind not in JOB_KINDS:
+        raise SpecError("kind", f"unknown job kind {spec.kind!r}; expected one of {JOB_KINDS}")
+    if spec.device not in CONTROLLER_IDS:
+        raise SpecError("device", f"unknown device {spec.device!r}")
+    if spec.mode not in _MODES:
+        raise SpecError("mode", f"unknown mode {spec.mode!r}; expected one of {_MODES}")
+    if not isinstance(spec.seed, int) or isinstance(spec.seed, bool):
+        raise SpecError("seed", "seed must be an integer")
+    if spec.trials is not None and (
+        not isinstance(spec.trials, int) or isinstance(spec.trials, bool) or spec.trials < 1
+    ):
+        raise SpecError("trials", "trials must be a positive integer or null")
+    if not isinstance(spec.hours, (int, float)) or isinstance(spec.hours, bool) or spec.hours <= 0:
+        raise SpecError("hours", "hours must be a positive number")
+    if spec.scheduler not in _SCHEDULERS:
+        raise SpecError(
+            "scheduler", f"unknown scheduler {spec.scheduler!r}; expected one of {_SCHEDULERS}"
+        )
+    if spec.fault_plan is not None and spec.fault_plan not in STOCK_FAULT_PLANS:
+        raise SpecError(
+            "fault_plan",
+            f"unknown fault plan {spec.fault_plan!r}; expected one of {STOCK_FAULT_PLANS}",
+        )
+    if spec.kind == "chaos" and spec.fault_plan is None:
+        raise SpecError("fault_plan", "chaos jobs require a stock fault plan name")
+    if spec.kind != "sessions" and spec.flows:
+        raise SpecError("flows", f"flows apply to session jobs only, not {spec.kind!r}")
+    for flow in spec.flows:
+        if flow not in FLOWS:
+            raise SpecError("flows", f"unknown flow {flow!r}; expected a subset of {FLOWS}")
+    if len(set(spec.flows)) != len(spec.flows):
+        raise SpecError("flows", "duplicate flow names")
+
+
+def spec_key(spec: JobSpec) -> str:
+    """Canonical serialisation of a spec (job-identity preimage)."""
+    return json.dumps(
+        {
+            "kind": spec.kind,
+            "device": spec.device,
+            "mode": spec.mode,
+            "seed": spec.seed,
+            "trials": spec.trials,
+            "hours": spec.hours,
+            "scheduler": spec.scheduler,
+            "fault_plan": spec.fault_plan,
+            "flows": list(spec.flows),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def job_id_for(spec: JobSpec) -> str:
+    """Content-addressed job id: equal specs collapse onto one job.
+
+    CRC-32 of the canonical spec serialisation (the same deliberate
+    choice as :func:`repro.faults.schedule.derive_seed`: stable across
+    processes and interpreter versions, unlike builtin ``hash``).
+    """
+    return f"job-{zlib.crc32(spec_key(spec).encode('utf-8')):08x}"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """A point-in-time view of one job, as returned by ``GET /jobs/<id>``.
+
+    ``sequence`` is the job's queue ticket (submission order);
+    ``units_done``/``units_total`` expose shard-level progress, and
+    ``counters`` streams the merged obs counters of every completed unit
+    so clients can watch packet/bug counts grow mid-job.
+    """
+
+    job_id: str
+    state: str
+    kind: str
+    device: str
+    seed: int
+    sequence: int
+    units_total: int
+    units_done: int
+    error: str = ""
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def valid_transition(current: str, target: str) -> bool:
+    """Whether the job state machine allows ``current -> target``."""
+    return target in VALID_TRANSITIONS.get(current, ())
