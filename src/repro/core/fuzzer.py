@@ -17,12 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..errors import FrameTooLargeError
 from ..faults.injector import AbortSignal
 from ..obs import metrics as obs
 from ..obs.tracing import span
 from ..radio.clock import SimClock
 from ..simulator.testbed import SystemUnderTest
-from ..zwave.frame import ZWaveFrame
+from ..zwave import constants as const
+from ..zwave.checksum import cs8
 from .buglog import BugLog, BugRecord
 from .fingerprint import SCANNER_NODE_ID
 from .monitor import LivenessMonitor, Observation, ObservedKind, SutObserver
@@ -110,6 +112,16 @@ class FuzzingEngine:
         )
         self._observer = SutObserver(sut, recovery_time=self.config.recovery_time)
         self._sequence = 0
+        # Injected frames differ only in sequence, payload and the derived
+        # LEN/CS bytes; the header prefix up to P1 is baked once so the hot
+        # path splices raw buffers instead of round-tripping a frame object.
+        self._inject_prefix = sut.profile.home_id.to_bytes(4, "big") + bytes(
+            (
+                SCANNER_NODE_ID,
+                const.P1_ACK_REQUEST_FLAG | const.HeaderType.SINGLECAST,
+            )
+        )
+        self._inject_dst = sut.controller.node_id
 
     @property
     def observer(self) -> SutObserver:
@@ -196,14 +208,20 @@ class FuzzingEngine:
         payload = case.encode()
         obs.inc("fuzzer.frames_tx")
         obs.observe("fuzzer.payload_len", len(payload))
-        frame = ZWaveFrame(
-            home_id=self._sut.profile.home_id,
-            src=SCANNER_NODE_ID,
-            dst=self._sut.controller.node_id,
-            payload=payload,
-            sequence=self._sequence,
+        # Raw-buffer splice of what ZWaveFrame(...).encode() would build:
+        # prefix | P2(seq) | LEN | DST | payload | CS8 — byte-identical,
+        # without a frame object per test case.
+        total = const.MAC_HEADER_SIZE + len(payload) + const.CS8_TRAILER_SIZE
+        if total > const.MAX_MAC_FRAME_SIZE:
+            raise FrameTooLargeError(
+                f"frame of {total} bytes exceeds the {const.MAX_MAC_FRAME_SIZE}-byte maximum"
+            )
+        body = (
+            self._inject_prefix
+            + bytes((self._sequence, total, self._inject_dst))
+            + payload
         )
-        self._sut.dongle.inject(frame)
+        self._sut.dongle.inject_raw(body + bytes((cs8(body),)))
         self._clock.advance(self.config.settle_time)
         result.packets_sent += 1
         result.cmdcls_used.add(case.payload.cmdcl)

@@ -206,6 +206,37 @@ def execute_unit_to_wire(unit: CampaignUnit) -> dict:
     return campaign_to_wire(result)
 
 
+def execute_unit_to_shm_wire(unit: CampaignUnit) -> dict:
+    """Worker entry for pooled rounds: large wire results ride shared memory.
+
+    Identical to :func:`execute_unit_to_wire` except the resulting wire
+    dict is staged in a shared-memory segment when big enough (see
+    :func:`repro.core.resultio.wire_to_shm_token`), so the pool's result
+    channel carries a tiny claim token instead of pickling a multi-
+    kilobyte campaign document through a pipe.  Harvest sites resolve the
+    token with :func:`repro.core.resultio.claim_wire`.
+    """
+    from .resultio import wire_to_shm_token
+
+    return wire_to_shm_token(execute_unit_to_wire(unit))
+
+
+def _discard_late_wire(future: Any) -> None:
+    """Done-callback for abandoned futures: unlink a late shm segment.
+
+    A unit that times out is failed immediately, but the worker may still
+    finish and stage its result in shared memory; nobody will ever claim
+    that token, so this callback releases the segment the moment the late
+    future resolves.
+    """
+    from .resultio import discard_wire_token
+
+    try:
+        discard_wire_token(future.result(timeout=0))
+    except BaseException:
+        pass
+
+
 def _rehydrate(unit: CampaignUnit, wire: dict) -> Any:
     from .resultio import campaign_from_wire, session_from_wire, vfuzz_from_wire
 
@@ -316,6 +347,8 @@ def _drain_round(
     is flushed into its outcome so the caller's checkpoint sees each
     completed unit exactly once — never a torn one.
     """
+    from .resultio import claim_wire
+
     for future in futures.values():
         future.cancel()
     pool.shutdown(wait=True, cancel_futures=True)
@@ -323,7 +356,7 @@ def _drain_round(
         if index not in pending or not future.done() or future.cancelled():
             continue
         try:
-            wire = future.result(timeout=0)
+            wire = claim_wire(future.result(timeout=0))
         except BaseException:
             continue  # the unit failed while draining; retry accounting keeps it
         outcome = pending[index]
@@ -345,16 +378,19 @@ def _collect_round(
     during the harvest triggers the graceful drain (in-flight units finish
     and flush) before the interrupt propagates.
     """
+    from .resultio import claim_wire
+
     futures = {}
     for index, outcome in pending.items():
         outcome.attempts += 1
-        futures[index] = pool.submit(execute_unit_to_wire, outcome.unit)
+        futures[index] = pool.submit(execute_unit_to_shm_wire, outcome.unit)
     for index, future in futures.items():
         outcome = pending[index]
         try:
-            wire = future.result(timeout=timeout)
+            wire = claim_wire(future.result(timeout=timeout))
         except FutureTimeout:
             future.cancel()
+            future.add_done_callback(_discard_late_wire)
             outcome.failure = UnitFailure(
                 unit=outcome.unit,
                 category=FAILURE_TIMEOUT,

@@ -75,3 +75,26 @@ class FuzzerError(ReproError):
 
 class CampaignError(FuzzerError):
     """A fuzzing campaign configuration is invalid."""
+
+
+class ObsError(ReproError):
+    """The observability layer (metrics, tracing) was misused."""
+
+
+class SpanValueError(ObsError):
+    """A span aggregate was fed a non-integer simulated-time value.
+
+    Span sim-times are exact integer microsecond counts; silently
+    coercing a float here would hide a caller that skipped its explicit
+    rounding, and two workers coercing differently would break the
+    byte-identity of merged metrics documents.  Carries the offending
+    ``name`` and ``value`` structurally for callers that want them.
+    """
+
+    def __init__(self, name: str, value: object):
+        self.name = name
+        self.value = value
+        super().__init__(
+            f"span {name!r}: sim_time_us must be an integer microsecond "
+            f"count, got {type(value).__name__} {value!r}"
+        )

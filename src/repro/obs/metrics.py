@@ -33,6 +33,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..errors import SpanValueError
+
 #: Upper bucket bounds of every histogram (values above fall in ``inf``).
 HISTOGRAM_BOUNDS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
 
@@ -199,13 +201,22 @@ class MetricsCollector:
         return sum(1 for key in self._coverage if key.startswith(prefix))
 
     def record_span(self, name: str, sim_time_us: int) -> None:
-        """Fold one completed span into the per-name aggregates."""
+        """Fold one completed span into the per-name aggregates.
+
+        *sim_time_us* must already be an exact ``int`` (the tracer rounds
+        before calling); anything else — float, bool, Decimal, string —
+        raises :class:`~repro.errors.SpanValueError` instead of being
+        silently truncated, because two callers coercing differently
+        would silently break merged-snapshot byte identity.
+        """
+        if not isinstance(sim_time_us, int) or isinstance(sim_time_us, bool):
+            raise SpanValueError(name, sim_time_us)
         entry = self._spans.get(name)
         if entry is None:
-            self._spans[name] = [1, int(sim_time_us)]
+            self._spans[name] = [1, sim_time_us]
         else:
             entry[0] += 1
-            entry[1] += int(sim_time_us)
+            entry[1] += sim_time_us
 
     def snapshot(self) -> MetricsSnapshot:
         """A frozen, key-sorted copy of the current state."""

@@ -220,6 +220,46 @@ def prepare_campaign_fps(fast: bool) -> Callable[[], WorkloadRun]:
     return run
 
 
+# -- event queue ----------------------------------------------------------------
+
+
+def prepare_event_queue(fast: bool) -> Callable[[], WorkloadRun]:
+    """The batched engine's heap: schedule_call, cancellation, drain.
+
+    Times the :class:`~repro.radio.clock.SimClock` primitives every
+    batched delivery rides — the arg-carrying ``schedule_call`` fast
+    path, seeded cancellation, and the ``advance`` drain loop with its
+    shared ``(fire_at, seq)`` tie-break.  Waves of events interleave
+    with drains the way campaign ticks do, and the checksum folds the
+    complete drain order, so ordering drift fails as nondeterminism
+    before it could ever pass as a timing blip.
+    """
+    from ..radio.clock import SimClock
+
+    waves = 40 if fast else 160
+    per_wave = 250
+
+    def run() -> WorkloadRun:
+        rng = random.Random(0xE7E47)
+        clock = SimClock()
+        order = []
+        checksum = 0
+        for wave in range(waves):
+            wave_ids = []
+            for marker in range(per_wave):  # markers stay < 256: 1 byte each
+                delay = rng.choice((0.001, 0.002, 0.002, 0.003, 0.008))
+                wave_ids.append(clock.schedule_call(delay, order.append, marker))
+            for event_id in wave_ids:
+                if rng.random() < 0.125:
+                    clock.cancel(event_id)
+            clock.advance(0.05)
+            checksum = _crc(checksum, bytes(order))
+            del order[:]
+        return WorkloadRun(waves * per_wave, checksum)
+
+    return run
+
+
 # -- resultio wire codec --------------------------------------------------------
 
 
@@ -319,6 +359,7 @@ WORKLOADS: Dict[str, WorkloadPrepare] = {
     "frame_codec": prepare_frame_codec,
     "mutation_batch": prepare_mutation_batch,
     "controller_dispatch": prepare_controller_dispatch,
+    "event_queue": prepare_event_queue,
     "campaign_fps": prepare_campaign_fps,
     "resultio_wire": prepare_resultio_wire,
     "lint_tree": prepare_lint_tree,

@@ -12,9 +12,14 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import RadioError
+
+#: Sentinel argument for closure-style events: ``schedule`` stores it in
+#: the arg slot so the drain loop can tell ``fn()`` events from ``fn(arg)``
+#: events without a per-event closure or type dispatch.
+_NO_ARG = object()
 
 
 def wall_monotonic() -> float:
@@ -55,11 +60,25 @@ def wall_sleep(seconds: float) -> None:
 
 
 class SimClock:
-    """A monotonically advancing simulated clock with an event queue."""
+    """A monotonically advancing simulated clock with a batched event queue.
+
+    The queue is a heap of ``(fire_at, seq, fn, arg)`` records.  ``seq``
+    (a monotonically increasing counter) is the tie-break: events sharing
+    a fire time drain in the order they were scheduled, which is the
+    ordering contract the whole byte-identity story rests on — rng draw
+    order, ack interleaving and wire bytes all derive from it.
+
+    Two event shapes share the heap.  Closure events (:meth:`schedule`)
+    carry the :data:`_NO_ARG` sentinel and fire as ``fn()``; batched
+    events (:meth:`schedule_call`) carry a payload argument and fire as
+    ``fn(arg)`` — the radio medium uses the latter to deliver one
+    transmission to N listeners with a single heap record instead of N
+    closures.
+    """
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Callable, Any]] = []
         self._counter = itertools.count()
         self._cancelled: set = set()
 
@@ -75,7 +94,22 @@ class SimClock:
         if delay < 0:
             raise RadioError(f"cannot schedule {delay}s in the past")
         event_id = next(self._counter)
-        heapq.heappush(self._queue, (self._now + delay, event_id, callback))
+        heapq.heappush(self._queue, (self._now + delay, event_id, callback, _NO_ARG))
+        return event_id
+
+    def schedule_call(self, delay: float, fn: Callable[[Any], None], arg: Any) -> int:
+        """Run ``fn(arg)`` after *delay* seconds; returns a cancellable id.
+
+        The arg-carrying twin of :meth:`schedule`: the callable and its
+        payload ride the heap record directly, so hot paths (frame
+        delivery above all) schedule without allocating a closure cell
+        per event.  Ordering is identical — both shapes share one
+        ``(fire_at, seq)`` key space.
+        """
+        if delay < 0:
+            raise RadioError(f"cannot schedule {delay}s in the past")
+        event_id = next(self._counter)
+        heapq.heappush(self._queue, (self._now + delay, event_id, fn, arg))
         return event_id
 
     def cancel(self, event_id: int) -> None:
@@ -96,27 +130,43 @@ class SimClock:
         self.advance_to(self._now + duration)
 
     def advance_to(self, deadline: float) -> None:
-        """Move time forward to *deadline*, firing due events in order."""
+        """Move time forward to *deadline*, firing due events in order.
+
+        This is the engine's drain loop: every due event — batched
+        deliveries included — fires in strict ``(fire_at, seq)`` order.
+        Locals are bound once because a fuzzing campaign spends most of
+        its wall clock inside this loop.
+        """
         if deadline < self._now:
             raise RadioError("cannot advance time backwards")
-        while self._queue and self._queue[0][0] <= deadline:
-            fire_at, event_id, callback = heapq.heappop(self._queue)
-            self._now = max(self._now, fire_at)
-            if event_id in self._cancelled:
-                self._cancelled.discard(event_id)
+        queue = self._queue
+        cancelled = self._cancelled
+        pop = heapq.heappop
+        while queue and queue[0][0] <= deadline:
+            fire_at, event_id, fn, arg = pop(queue)
+            if fire_at > self._now:
+                self._now = fire_at
+            if cancelled and event_id in cancelled:
+                cancelled.discard(event_id)
                 continue
-            callback()
+            if arg is _NO_ARG:
+                fn()
+            else:
+                fn(arg)
         self._now = deadline
 
     def run_next(self) -> bool:
         """Fire the single next event; ``False`` when the queue is empty."""
         while self._queue:
-            fire_at, event_id, callback = heapq.heappop(self._queue)
+            fire_at, event_id, fn, arg = heapq.heappop(self._queue)
             if event_id in self._cancelled:
                 self._cancelled.discard(event_id)
                 continue
             self._now = max(self._now, fire_at)
-            callback()
+            if arg is _NO_ARG:
+                fn()
+            else:
+                fn(arg)
             return True
         return False
 

@@ -12,6 +12,7 @@ frame, far ones suffer increasing loss until the link dies.
 from __future__ import annotations
 
 import math
+import os
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -62,6 +63,25 @@ class Reception:
 
 #: Endpoint receive callback signature.
 ReceiveCallback = Callable[[Reception], None]
+
+#: Engine selector.  "batched" — the only engine — delivers every
+#: transmission through one arg-carrying clock event holding all
+#: per-endpoint records.  The legacy one-closure-per-delivery loop was
+#: removed once the equivalence matrix (tests/test_engine_equivalence.py)
+#: proved byte-identical campaign documents across every cell of
+#: (device x mode x scheduler x fault-plan x workers); the matrix now
+#: runs as the engine's determinism re-run.
+ENGINES = ("batched",)
+
+
+def active_engine() -> str:
+    """The engine selected by ``ZCOVER_ENGINE`` (default "batched")."""
+    engine = os.environ.get("ZCOVER_ENGINE", "batched")
+    if engine not in ENGINES:
+        raise RadioError(
+            f"unknown ZCOVER_ENGINE {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 @dataclass
@@ -119,6 +139,23 @@ class RadioMedium:
         # stay live so cache state can never change who hears a frame.
         self._endpoint_cache: Optional[Tuple[_Endpoint, ...]] = None
         self._rssi_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        # Per-sender delivery plans: the sender/enabled/region/sensitivity
+        # filter chain is a pure function of topology and power state, so
+        # it runs once per (sender, topology) instead of once per transmit.
+        # A plan is (records, out_of_range): records are the endpoints that
+        # reach the rng draw — in listener order, so rng consumption is
+        # unchanged — and out_of_range counts the sub-sensitivity listeners
+        # the legacy loop tallied as losses on every transmission.
+        # Invalidated with the topology caches and on every enabled flip
+        # (the only write path is :meth:`set_enabled`).
+        self._plan_cache: Dict[str, Tuple[Tuple[Tuple[_Endpoint, float, float], ...], int]] = {}
+        # Airtime keyed by (frame length, rate): the duration formula only
+        # reads those two values, and campaign traffic reuses a handful of
+        # frame sizes thousands of times.
+        self._airtime_cache: Dict[Tuple[int, float], float] = {}
+        # Validates ZCOVER_ENGINE once per medium: an unknown (or removed)
+        # engine selection fails loudly at construction, never mid-campaign.
+        active_engine()
 
     # -- attachment -------------------------------------------------------------
 
@@ -149,6 +186,7 @@ class RadioMedium:
         if endpoint is None:
             raise RadioError(f"no endpoint named {name!r}")
         endpoint.enabled = enabled
+        self._plan_cache.clear()
 
     def move(self, name: str, position: Tuple[float, float]) -> None:
         """Relocate an endpoint (e.g. the attacker walking closer)."""
@@ -164,6 +202,7 @@ class RadioMedium:
     def _invalidate_topology(self) -> None:
         self._endpoint_cache = None
         self._rssi_cache.clear()
+        self._plan_cache.clear()
 
     # -- statistics --------------------------------------------------------------
 
@@ -191,7 +230,12 @@ class RadioMedium:
         if source is None:
             raise RadioError(f"unknown transmitter {sender!r}")
         self._transmissions += 1
-        airtime = airtime_seconds(frame_bytes, rate_kbaud)
+        airtime_key = (len(frame_bytes), rate_kbaud)
+        airtime = self._airtime_cache.get(airtime_key)
+        if airtime is None:
+            airtime = self._airtime_cache[airtime_key] = airtime_seconds(
+                frame_bytes, rate_kbaud
+            )
         extra_delay = 0.0
         duplicate = False
         if self.fault_injector is not None:
@@ -210,7 +254,98 @@ class RadioMedium:
         listeners = self._endpoint_cache
         if listeners is None:
             listeners = self._endpoint_cache = tuple(self._endpoints.values())
-        rssi_cache = self._rssi_cache
+        return self._transmit_batched(
+            sender, source, frame_bytes, phy_bits, airtime, rate_kbaud,
+            extra_delay, duplicate, listeners, self._rssi_cache,
+        )
+
+    def _transmit_batched(
+        self,
+        sender: str,
+        source: _Endpoint,
+        frame_bytes: bytes,
+        phy_bits: Optional[List[int]],
+        airtime: float,
+        rate_kbaud: float,
+        extra_delay: float,
+        duplicate: bool,
+        listeners: Tuple[_Endpoint, ...],
+        rssi_cache: Dict[Tuple[str, str], Tuple[float, float]],
+    ) -> float:
+        """Batched delivery: one clock event carries every listener record.
+
+        The per-endpoint filter/rng sequence is byte-identical to the
+        legacy loop (same draws, same order); only the scheduling changes.
+        Legacy pushed one closure per (endpoint, offset) with consecutive
+        seq numbers and a shared fire time, so the heap drained them in
+        listener order anyway — the batch event replays exactly that order
+        from a tuple of records, with one heap push per fire time instead
+        of one per delivery.  Collision cancellation maps 1:1: cancelling
+        the batch id cancels all of the transmission's deliveries.
+        """
+        plan = self._plan_cache.get(sender)
+        if plan is None:
+            plan = self._plan_cache[sender] = self._build_plan(
+                sender, source, listeners, rssi_cache
+            )
+        reachable, out_of_range = plan
+        self._losses += out_of_range
+        rng_random = self._rng.random
+        deliveries: List[tuple] = []
+        for endpoint, rssi, loss_p in reachable:
+            # The draw happens for every endpoint above sensitivity even on
+            # a perfect link — cache state must never change rng consumption.
+            if rng_random() < loss_p:
+                self._losses += 1
+                continue
+            if phy_bits is None:
+                deliveries.append((endpoint, frame_bytes, None, rssi, 0))
+                continue
+            delivered_bits = phy_bits
+            bit_errors = 0
+            if self._noise_bit_rate > 0.0:
+                flips = tuple(
+                    i
+                    for i in range(len(phy_bits))
+                    if rng_random() < self._noise_bit_rate
+                )
+                if flips:
+                    delivered_bits = corrupt_bits(phy_bits, flips)
+                    bit_errors = len(flips)
+            deliveries.append((endpoint, None, delivered_bits, rssi, bit_errors))
+        if deliveries:
+            records = tuple(deliveries)
+            # A duplicated transmission arrives a second time one airtime
+            # after the original (back-to-back repeat on the channel).
+            offsets = (
+                (extra_delay, extra_delay + airtime) if duplicate else (extra_delay,)
+            )
+            for offset in offsets:
+                event_id = self._clock.schedule_call(
+                    airtime + offset,
+                    self._deliver_batch,
+                    (records, airtime, rate_kbaud, offset),
+                )
+                if self._collisions:
+                    self._current_transmission["events"].append(event_id)
+        return airtime
+
+    def _build_plan(
+        self,
+        sender: str,
+        source: _Endpoint,
+        listeners: Tuple[_Endpoint, ...],
+        rssi_cache: Dict[Tuple[str, str], Tuple[float, float]],
+    ) -> Tuple[Tuple[Tuple[_Endpoint, float, float], ...], int]:
+        """Run the listener filter chain once for *sender*.
+
+        Returns the endpoints that reach the loss draw (in listener order,
+        with their link rssi and loss probability) plus the count of
+        listeners below their sensitivity floor, which the per-transmit
+        loop booked as losses each time.
+        """
+        reachable: List[Tuple[_Endpoint, float, float]] = []
+        out_of_range = 0
         for endpoint in listeners:
             if endpoint.name == sender or not endpoint.enabled:
                 continue
@@ -224,39 +359,46 @@ class RadioMedium:
                 cached = rssi_cache[link] = (rssi, loss_probability(rssi))
             rssi, loss_p = cached
             if rssi < endpoint.sensitivity_dbm:
-                self._losses += 1
+                out_of_range += 1
                 continue
-            # The draw happens for every endpoint above sensitivity even on
-            # a perfect link — cache state must never change rng consumption.
-            if self._rng.random() < loss_p:
-                self._losses += 1
+            reachable.append((endpoint, rssi, loss_p))
+        return tuple(reachable), out_of_range
+
+    def _deliver_batch(self, batch: tuple) -> None:
+        """Fire every delivery of one transmission, in listener order.
+
+        Runs at the batch's fire time.  The enabled check happens here —
+        per record, immediately before its callback — so a callback
+        earlier in the batch that powers a later listener down still
+        suppresses that delivery, exactly as the per-event legacy path
+        did.  The ``Reception`` timestamp is read from the live clock per
+        record for the same reason.
+        """
+        records, airtime, rate_kbaud, offset = batch
+        # Callbacks never advance the clock, so every record of the batch
+        # sees the same ``now`` — hoisting the timestamp preserves the
+        # legacy per-event value (fire-time now + airtime + offset) exactly.
+        timestamp = self._clock.now + airtime + offset
+        for endpoint, raw_bytes, phy_bits, rssi, bit_errors in records:
+            if not endpoint.enabled:
                 continue
-            # A duplicated transmission arrives a second time one airtime
-            # after the original (back-to-back repeat on the channel).
-            offsets = (extra_delay, extra_delay + airtime) if duplicate else (extra_delay,)
-            if phy_bits is None:
-                for offset in offsets:
-                    self._schedule_delivery(
-                        endpoint, frame_bytes, None, rssi, airtime, rate_kbaud, 0, offset
-                    )
-                continue
-            delivered_bits = phy_bits
-            bit_errors = 0
-            if self._noise_bit_rate > 0.0:
-                flips = tuple(
-                    i
-                    for i in range(len(phy_bits))
-                    if self._rng.random() < self._noise_bit_rate
+            if raw_bytes is not None:
+                raw = raw_bytes
+            else:
+                try:
+                    raw = decode_phy(phy_bits, rate_kbaud)
+                except RadioError:
+                    continue  # Undecodable garbage — receiver never syncs.
+            self._deliveries += 1
+            endpoint.callback(
+                Reception(
+                    raw=raw,
+                    rssi_dbm=rssi,
+                    timestamp=timestamp,
+                    rate_kbaud=rate_kbaud,
+                    bit_errors=bit_errors,
                 )
-                if flips:
-                    delivered_bits = corrupt_bits(phy_bits, flips)
-                    bit_errors = len(flips)
-            for offset in offsets:
-                self._schedule_delivery(
-                    endpoint, None, delivered_bits, rssi, airtime, rate_kbaud,
-                    bit_errors, offset,
-                )
-        return airtime
+            )
 
     def _collides(self, airtime: float) -> bool:
         """Collision bookkeeping: destroy overlapping transmissions.
@@ -279,39 +421,3 @@ class RadioMedium:
         self._active.append(record)
         self._current_transmission = record
         return False
-
-    def _schedule_delivery(
-        self,
-        endpoint: _Endpoint,
-        raw_bytes: Optional[bytes],
-        phy_bits: Optional[List[int]],
-        rssi: float,
-        airtime: float,
-        rate_kbaud: float,
-        bit_errors: int,
-        extra_delay: float = 0.0,
-    ) -> None:
-        def deliver() -> None:
-            if not endpoint.enabled:
-                return
-            if raw_bytes is not None:
-                raw = raw_bytes
-            else:
-                try:
-                    raw = decode_phy(phy_bits, rate_kbaud)
-                except RadioError:
-                    return  # Undecodable garbage — receiver never syncs.
-            self._deliveries += 1
-            endpoint.callback(
-                Reception(
-                    raw=raw,
-                    rssi_dbm=rssi,
-                    timestamp=self._clock.now + airtime + extra_delay,
-                    rate_kbaud=rate_kbaud,
-                    bit_errors=bit_errors,
-                )
-            )
-
-        event_id = self._clock.schedule(airtime + extra_delay, deliver)
-        if self._collisions:
-            self._current_transmission["events"].append(event_id)

@@ -20,7 +20,7 @@ from typing import Deque, List, Optional, Tuple
 
 from ..errors import TransceiverError
 from ..zwave.constants import DATA_RATES_KBAUD, Region
-from ..zwave.frame import ZWaveFrame
+from ..zwave.frame import FrameView, ZWaveFrame, lenient_view
 from .clock import SimClock
 from .medium import RadioMedium, Reception
 
@@ -28,12 +28,18 @@ from .medium import RadioMedium, Reception
 CAPTURE_BUFFER_SIZE = 4096
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapturedFrame:
-    """One sniffed frame with its radio metadata."""
+    """One sniffed frame with its radio metadata.
+
+    ``frame`` is a zero-copy :class:`~repro.zwave.frame.FrameView` over
+    ``raw`` (``None`` when the buffer is not dissectable): fields decode
+    lazily on first touch, so captures that are only length-filtered or
+    ack-scanned never pay for a full parse.
+    """
 
     raw: bytes
-    frame: Optional[ZWaveFrame]
+    frame: Optional[FrameView]
     rssi_dbm: float
     timestamp: float
     bit_errors: int
@@ -111,15 +117,13 @@ class Transceiver:
     # -- receive path ----------------------------------------------------------------
 
     def _on_receive(self, reception: Reception) -> None:
-        frame: Optional[ZWaveFrame] = None
-        try:
-            frame = ZWaveFrame.decode(reception.raw, verify=False)
-        except Exception:
-            frame = None  # Keep the raw capture; dissection failed.
+        # Zero-copy capture: wrap the buffer in a lazy view (None when the
+        # length makes it undissectable) instead of eagerly decoding every
+        # sniffed frame — most captures are only ack-scanned or dst-filtered.
         self._captures.append(
             CapturedFrame(
                 raw=reception.raw,
-                frame=frame,
+                frame=lenient_view(reception.raw),
                 rssi_dbm=reception.rssi_dbm,
                 timestamp=reception.timestamp,
                 bit_errors=reception.bit_errors,

@@ -44,7 +44,7 @@ from ..zwave.nif import (
 from ..zwave.registry import SpecRegistry, load_full_registry
 from .host import HostProgram
 from .memory import NodeRecord, NodeTable
-from .transport import S0Messaging, S2Messaging
+from .transport import S0Messaging, S2Messaging, TRANSPORT_CMDCLS
 from .vulnerabilities import (
     EffectType,
     MacQuirk,
@@ -52,6 +52,11 @@ from .vulnerabilities import (
     Vulnerability,
     ZERO_DAYS,
 )
+
+
+#: APPLICATION_BUSY (try again later) — the constant answer to supported
+#: commands without a GET semantic; shared so its encoding memoises once.
+_BUSY_PAYLOAD = ApplicationPayload(0x22, 0x01, bytes([0x00, 0x01]))
 
 
 @dataclass
@@ -122,8 +127,14 @@ class VirtualController:
         #: MAC acks keyed by (requester, sequence); an ack's bytes are a
         #: pure function of those two fields for a fixed controller.
         self._ack_cache: Dict[Tuple[int, int], bytes] = {}
-        #: Per-class canonical GET response: (report cmd id, params bytes).
-        self._report_cache: Dict[int, Optional[Tuple[int, bytes]]] = {}
+        #: Per-class canonical GET response payload (``None`` when the
+        #: class defines no REPORT); the payload instance is shared so its
+        #: memoised encoding is built once per class.
+        self._report_cache: Dict[int, Optional[ApplicationPayload]] = {}
+        #: Outbound frame bytes keyed by (dst, payload, sequence, ack bit);
+        #: the wire form is a pure function of those for a fixed controller,
+        #: and the 16-value sequence cycle makes responses repeat quickly.
+        self._tx_cache: Dict[Tuple[int, bytes, int, bool], bytes] = {}
         self._mac_quirks = tuple(mac_quirks)
         self.host = host
         self.nvm = NodeTable(own_node_id=node_id)
@@ -277,17 +288,24 @@ class VirtualController:
         return self._sequence
 
     def _send(self, dst: int, payload: ApplicationPayload, ack_request: bool = True) -> None:
-        frame = ZWaveFrame(
-            home_id=self.home_id,
-            src=self.node_id,
-            dst=dst,
-            payload=payload.encode(),
-            sequence=self._next_seq(),
-            ack_request=ack_request,
-        )
+        apl = payload.encode()
+        key = (dst, apl, self._next_seq(), ack_request)
+        raw = self._tx_cache.get(key)
+        if raw is None:
+            frame = ZWaveFrame(
+                home_id=self.home_id,
+                src=self.node_id,
+                dst=dst,
+                payload=apl,
+                sequence=key[2],
+                ack_request=ack_request,
+            )
+            raw = frame.encode()
+            if len(self._tx_cache) < 4096:
+                self._tx_cache[key] = raw
         self.stats.responses_sent += 1
         obs.inc("controller.frames_tx")
-        self._medium.transmit(self.name, frame.encode(), rate_kbaud=100.0)
+        self._medium.transmit(self.name, raw, rate_kbaud=100.0)
 
     def _send_ack(self, frame: ZWaveFrame) -> None:
         self.stats.acked += 1
@@ -386,6 +404,8 @@ class VirtualController:
         #06's trigger) are deliberately NOT consumed here: the vulnerable
         dispatch below gets them, exactly as in the real firmware.
         """
+        if payload.cmdcl not in TRANSPORT_CMDCLS:
+            return False
         return self._s2m.handle(src, payload) or self._s0m.handle(src, payload)
 
     def _deliver_secure_inner(self, src: int, inner: ApplicationPayload) -> None:
@@ -575,15 +595,15 @@ class VirtualController:
                     response = (
                         None
                         if report is None
-                        else (
+                        else ApplicationPayload(
+                            cls.id,
                             report.id,
                             bytes(p.legal_values()[0] for p in report.params),
                         )
                     )
                     self._report_cache[cls.id] = response
                 if response is not None:
-                    report_id, params = response
-                    self._send(src, ApplicationPayload(cls.id, report_id, params))
+                    self._send(src, response)
                     return
             elif cmd.kind in (CommandKind.REPORT, CommandKind.NOTIFICATION):
                 # Unsolicited device status: consumed, surfaced to the host
@@ -594,8 +614,7 @@ class VirtualController:
                         f"node {src} reported {cls.name}/{cmd.name}",
                     )
                 return
-        busy = ApplicationPayload(0x22, 0x01, bytes([0x00, 0x01]))
-        self._send(src, busy)
+        self._send(src, _BUSY_PAYLOAD)
 
     # -- effects ---------------------------------------------------------------------------
 

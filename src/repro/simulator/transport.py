@@ -34,6 +34,13 @@ SendPayload = Callable[[int, ApplicationPayload], None]
 #: Callback invoked with a successfully decapsulated inner payload.
 DeliverInner = Callable[[int, ApplicationPayload], None]
 
+#: The command classes the secure transports own (S2 0x9F, S0 0x98).
+#: Receivers gate on this before invoking the handlers at all — every
+#: other class can skip both state machines without a call.  Mirrors the
+#: ``handle()`` guards below; a payload outside these classes is always
+#: left unconsumed.
+TRANSPORT_CMDCLS = frozenset((0x9F, 0x98))
+
 
 @dataclass
 class TransportStats:

@@ -79,30 +79,67 @@ class ApplicationPayload:
             return self.params[index]
         return None
 
+    def _spawn(
+        self, cmdcl: int, cmd: Optional[int], params: bytes, raw: bytes
+    ) -> "ApplicationPayload":
+        """Construct a mutated copy with its wire bytes pre-seeded.
+
+        The mutation operators splice *raw* out of the parent's encoded
+        buffer, so the child's first ``encode()`` is a memo hit instead of
+        a fresh serialisation — mutation works on buffers, not on
+        field-by-field round-trips.  Validation still runs (the normal
+        constructor fires ``__post_init__``); only the serialise step is
+        skipped, and the splices below are byte-identical to it.
+        """
+        child = ApplicationPayload(cmdcl, cmd, params)
+        object.__setattr__(child, "_raw", raw)
+        return child
+
     def replace_at(self, position: int, value: int) -> "ApplicationPayload":
         """Return a copy with the byte at *position* replaced by *value*."""
         if not 0 <= value <= 0xFF:
             raise FrameError(f"replacement value {value} out of byte range")
         if position == POSITION_CMDCL:
-            return ApplicationPayload(value, self.cmd, self.params)
+            base = self.encode()
+            return self._spawn(value, self.cmd, self.params, bytes([value]) + base[1:])
         if position == POSITION_CMD:
-            return ApplicationPayload(self.cmdcl, value, self.params)
+            if self.cmd is None:
+                # The command byte is appearing for the first time — there
+                # is no parent buffer slot to splice into.
+                return ApplicationPayload(self.cmdcl, value, self.params)
+            base = self.encode()
+            return self._spawn(
+                self.cmdcl, value, self.params, base[:1] + bytes([value]) + base[2:]
+            )
         index = position - POSITION_FIRST_PARAM
         if not 0 <= index < len(self.params):
             raise FrameError(f"no parameter at position {position}")
         params = bytearray(self.params)
         params[index] = value
-        return ApplicationPayload(self.cmdcl, self.cmd, bytes(params))
+        if self.cmd is None:
+            # Degenerate shape (params without a command encode to nothing);
+            # leave serialisation to the normal path.
+            return ApplicationPayload(self.cmdcl, self.cmd, bytes(params))
+        buf = bytearray(self.encode())
+        buf[POSITION_FIRST_PARAM + index] = value
+        return self._spawn(self.cmdcl, self.cmd, bytes(params), bytes(buf))
 
     def append_param(self, value: int) -> "ApplicationPayload":
         """Return a copy with *value* appended as a trailing parameter."""
         if self.cmd is None:
             raise FrameError("cannot append a parameter to a payload without a command")
-        return ApplicationPayload(self.cmdcl, self.cmd, self.params + bytes([value & 0xFF]))
+        tail = bytes([value & 0xFF])
+        return self._spawn(
+            self.cmdcl, self.cmd, self.params + tail, self.encode() + tail
+        )
 
     def truncate_params(self, count: int) -> "ApplicationPayload":
         """Return a copy keeping only the first *count* parameters."""
-        return ApplicationPayload(self.cmdcl, self.cmd, self.params[: max(count, 0)])
+        params = self.params[: max(count, 0)]
+        if self.cmd is None:
+            return ApplicationPayload(self.cmdcl, self.cmd, params)
+        raw = self.encode()[: POSITION_FIRST_PARAM + len(params)]
+        return self._spawn(self.cmdcl, self.cmd, params, raw)
 
     @property
     def positions(self) -> Tuple[int, ...]:

@@ -224,6 +224,146 @@ class ZWaveFrame:
         return replace(self, payload=payload, checksum=None)
 
 
+class FrameView:
+    """A zero-copy lazy view over raw MAC frame bytes.
+
+    The sniffer-side twin of :meth:`ZWaveFrame.decode(verify=False)
+    <ZWaveFrame.decode>`: it exposes the same read-only field API but
+    performs **no** parsing up front — each field is decoded from the
+    underlying buffer only when a handler or oracle touches it.  The
+    capture path allocates one of these per sniffed frame, so the common
+    consumers (the liveness monitor's ack scan, the dst filters) read two
+    or three bytes instead of paying a full dataclass decode.
+
+    Lifetime rule: the view borrows ``raw`` — it never copies the buffer.
+    ``raw`` is ``bytes`` everywhere in the tree (immutable), so views may
+    be held indefinitely; if a caller ever constructs one over a mutable
+    ``memoryview``/``bytearray``, the view is only valid until the buffer
+    mutates.  :meth:`to_frame` materialises an eager, owning
+    :class:`ZWaveFrame` when dataclass semantics are needed.
+
+    Construct through :func:`lenient_view`, which applies exactly the
+    length checks under which the lenient decode would have failed.
+    """
+
+    __slots__ = ("raw", "_payload")
+
+    def __init__(self, raw: bytes):
+        self.raw = raw
+        self._payload: Optional[bytes] = None
+
+    # -- lazy field decode ----------------------------------------------------
+
+    @property
+    def home_id(self) -> int:
+        return int.from_bytes(self.raw[const.HOME_ID_SLICE], "big")
+
+    @property
+    def src(self) -> int:
+        return self.raw[const.SRC_OFFSET]
+
+    @property
+    def dst(self) -> int:
+        return self.raw[const.DST_OFFSET]
+
+    @property
+    def p1(self) -> int:
+        return self.raw[const.P1_OFFSET]
+
+    @property
+    def p2(self) -> int:
+        return self.raw[const.P2_OFFSET]
+
+    @property
+    def header_type(self) -> int:
+        return self.raw[const.P1_OFFSET] & 0x0F
+
+    @property
+    def ack_request(self) -> bool:
+        return bool(self.raw[const.P1_OFFSET] & const.P1_ACK_REQUEST_FLAG)
+
+    @property
+    def low_power(self) -> bool:
+        return bool(self.raw[const.P1_OFFSET] & const.P1_LOW_POWER_FLAG)
+
+    @property
+    def speed_modified(self) -> bool:
+        return bool(self.raw[const.P1_OFFSET] & const.P1_SPEED_MODIFIED_FLAG)
+
+    @property
+    def routed(self) -> bool:
+        return bool(self.raw[const.P1_OFFSET] & const.P1_ROUTED_FLAG)
+
+    @property
+    def sequence(self) -> int:
+        return self.raw[const.P2_OFFSET] & const.P2_SEQUENCE_MASK
+
+    @property
+    def checksum(self) -> int:
+        return self.raw[-1]
+
+    @property
+    def length(self) -> int:
+        # A decoded frame's ``length`` is computed from its payload, which
+        # the lenient parse slices out of the buffer — so it always equals
+        # the buffer size, whatever the (unverified) LEN field claims.
+        return len(self.raw)
+
+    @property
+    def is_ack(self) -> bool:
+        return (self.raw[const.P1_OFFSET] & 0x0F) == const.HeaderType.ACK
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.raw[const.DST_OFFSET] == const.BROADCAST_NODE_ID
+
+    @property
+    def payload(self) -> bytes:
+        """The APL bytes, sliced out of the buffer on first touch."""
+        payload = self._payload
+        if payload is None:
+            payload = self._payload = bytes(self.raw[const.APL_OFFSET:-1])
+        return payload
+
+    @property
+    def cmdcl(self) -> Optional[int]:
+        if len(self.raw) <= const.APL_OFFSET + 1:
+            return None  # empty payload
+        return self.raw[const.APL_OFFSET]
+
+    @property
+    def cmd(self) -> Optional[int]:
+        if len(self.raw) <= const.APL_OFFSET + 2:
+            return None
+        return self.raw[const.APL_OFFSET + 1]
+
+    @property
+    def params(self) -> bytes:
+        return self.payload[2:]
+
+    # -- materialisation -------------------------------------------------------
+
+    def to_frame(self) -> ZWaveFrame:
+        """Eagerly decode into a full (owning) :class:`ZWaveFrame`."""
+        return ZWaveFrame.decode(self.raw, verify=False)
+
+    def __repr__(self) -> str:
+        return f"FrameView({self.raw.hex()})"
+
+
+def lenient_view(raw: bytes) -> Optional[FrameView]:
+    """Wrap *raw* in a :class:`FrameView`, or ``None`` if undissectable.
+
+    Returns ``None`` exactly when ``ZWaveFrame.decode(raw, verify=False)``
+    would raise: the buffer is shorter than the MAC header plus checksum,
+    or longer than the MAC maximum.  (The lenient parse enforces nothing
+    else — every in-range buffer dissects.)
+    """
+    if not const.MAC_HEADER_SIZE + const.CS8_TRAILER_SIZE <= len(raw) <= const.MAX_MAC_FRAME_SIZE:
+        return None
+    return FrameView(raw)
+
+
 def make_singlecast(
     home_id: int, src: int, dst: int, payload: bytes, sequence: int = 0
 ) -> ZWaveFrame:

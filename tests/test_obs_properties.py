@@ -11,6 +11,7 @@ import random
 
 import pytest
 
+from repro.errors import SpanValueError
 from repro.obs.export import dumps_document, snapshot_to_document
 from repro.obs.metrics import (
     MetricsCollector,
@@ -125,3 +126,51 @@ class TestMergeAlgebra:
         for snap in snaps:
             folded = merge_snapshots(folded, snap)
         assert _canon(merge_all(snaps)) == _canon(folded)
+
+
+class TestSpanGuard:
+    """The record_span integer guard and its merge-order consequence."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [1.0, 12.5, True, False, "12", None, 10**3 + 0.0],
+        ids=["float-whole", "float-frac", "true", "false", "str", "none", "float-e3"],
+    )
+    def test_non_integer_span_raises_structured_error(self, bad):
+        collector = MetricsCollector()
+        with pytest.raises(SpanValueError) as excinfo:
+            collector.record_span("campaign.fuzz", bad)
+        assert excinfo.value.name == "campaign.fuzz"
+        assert excinfo.value.value == bad or excinfo.value.value is bad
+        # Nothing was folded: the guard rejects before mutating state.
+        assert collector.snapshot().spans == {}
+
+    def test_integer_spans_accumulate_exactly(self):
+        collector = MetricsCollector()
+        collector.record_span("campaign.fuzz", 3)
+        collector.record_span("campaign.fuzz", 4)
+        stats = collector.snapshot().spans["campaign.fuzz"]
+        assert (stats.count, stats.sim_time_us) == (2, 7)
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_span_merge_is_order_independent(self, seed):
+        """Exact-int spans make every merge order byte-identical.
+
+        This is the property the guard protects: int addition is
+        associative and commutative, so shuffled worker snapshots fold to
+        the same document.  (Floats would have made this grouping-
+        sensitive, which is why record_span refuses them.)
+        """
+        rng = random.Random(5000 + seed)
+        parts = []
+        for _ in range(rng.randrange(2, 7)):
+            collector = MetricsCollector()
+            for _ in range(rng.randrange(0, 25)):
+                collector.record_span(
+                    rng.choice(SPAN_KEYS), rng.randrange(0, 10**9)
+                )
+            parts.append(collector.snapshot())
+        reference = _canon(merge_all(parts))
+        for _ in range(4):
+            rng.shuffle(parts)
+            assert _canon(merge_all(parts)) == reference
